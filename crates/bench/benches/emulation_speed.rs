@@ -1,0 +1,122 @@
+//! E7 — emulation speed: FlexFloat's native-backed approach vs SoftFloat's
+//! pure-integer emulation (paper Section III-A: FlexFloat "produces binaries
+//! that are fast to execute, since its computations rely on native types...
+//! This methodology guarantees shorter execution times w.r.t. emulation
+//! approaches (e.g., SoftFloat)").
+//!
+//! Benchmarked on identical element-wise workloads; both back-ends produce
+//! bit-identical results (verified by the cross-backend test suite), so the
+//! measured difference is purely emulation overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use flexfloat::{Binary16, Binary16Alt, Binary32, Binary8};
+use tp_formats::{RoundingMode, BINARY16, BINARY16ALT, BINARY32, BINARY8};
+use tp_softfloat::ops;
+
+const N: usize = 4096;
+
+fn inputs() -> (Vec<f64>, Vec<f64>) {
+    // Deterministic, well-conditioned values.
+    let a: Vec<f64> = (0..N).map(|i| 1.0 + (i as f64 * 0.37) % 6.0).collect();
+    let b: Vec<f64> = (0..N).map(|i| 0.5 + (i as f64 * 0.73) % 3.0).collect();
+    (a, b)
+}
+
+/// A fused mul-add-accumulate sweep in FlexFloat.
+macro_rules! flexfloat_sweep {
+    ($ty:ty, $a:expr, $b:expr) => {{
+        let mut acc = <$ty>::from(0.0);
+        for (&x, &y) in $a.iter().zip($b.iter()) {
+            let fx = <$ty>::from(x);
+            let fy = <$ty>::from(y);
+            acc = acc + fx * fy;
+        }
+        acc.to_f64()
+    }};
+}
+
+fn softfloat_sweep(fmt: tp_formats::FpFormat, a: &[f64], b: &[f64]) -> f64 {
+    let rne = RoundingMode::NearestEven;
+    let mut acc = fmt.zero_bits(false);
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let fx = fmt.round_from_f64(x, rne).bits;
+        let fy = fmt.round_from_f64(y, rne).bits;
+        acc = ops::add(fmt, acc, ops::mul(fmt, fx, fy, rne), rne);
+    }
+    fmt.decode_to_f64(acc)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let (a, b) = inputs();
+    let mut group = c.benchmark_group("mac_sweep");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function(BenchmarkId::new("flexfloat", "binary8"), |bch| {
+        bch.iter(|| black_box(flexfloat_sweep!(Binary8, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("softfloat", "binary8"), |bch| {
+        bch.iter(|| black_box(softfloat_sweep(BINARY8, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("flexfloat", "binary16"), |bch| {
+        bch.iter(|| black_box(flexfloat_sweep!(Binary16, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("softfloat", "binary16"), |bch| {
+        bch.iter(|| black_box(softfloat_sweep(BINARY16, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("flexfloat", "binary16alt"), |bch| {
+        bch.iter(|| black_box(flexfloat_sweep!(Binary16Alt, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("softfloat", "binary16alt"), |bch| {
+        bch.iter(|| black_box(softfloat_sweep(BINARY16ALT, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("flexfloat", "binary32"), |bch| {
+        bch.iter(|| black_box(flexfloat_sweep!(Binary32, &a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("softfloat", "binary32"), |bch| {
+        bch.iter(|| black_box(softfloat_sweep(BINARY32, &a, &b)))
+    });
+    // Native f32 as the absolute lower bound.
+    group.bench_function(BenchmarkId::new("native", "f32"), |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0f32;
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                acc += (x as f32) * (y as f32);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_op");
+    let x = Binary16::from(1.2345);
+    let y = Binary16::from(0.9876);
+    group.bench_function("flexfloat_binary16_mul", |bch| {
+        bch.iter(|| black_box(black_box(x) * black_box(y)))
+    });
+    let bx = x.to_bits();
+    let by = y.to_bits();
+    group.bench_function("softfloat_binary16_mul", |bch| {
+        bch.iter(|| black_box(ops::mul(BINARY16, black_box(bx), black_box(by), RoundingMode::NearestEven)))
+    });
+    group.bench_function("flexfloat_binary16_div", |bch| {
+        bch.iter(|| black_box(black_box(x) / black_box(y)))
+    });
+    group.bench_function("softfloat_binary16_div", |bch| {
+        bch.iter(|| black_box(ops::div(BINARY16, black_box(bx), black_box(by), RoundingMode::NearestEven)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_backends, bench_single_ops
+}
+criterion_main!(benches);

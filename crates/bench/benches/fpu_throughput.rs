@@ -1,0 +1,102 @@
+//! FPU model throughput: scalar vs SIMD issue across the formats, plus the
+//! conversion unit. Complements E8 (`exp_fpu_modes`): that binary reports
+//! the modelled latency/energy; this bench measures the simulation
+//! throughput of the functional datapaths themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tp_formats::{FormatKind, RoundingMode, ALL_KINDS};
+use tp_fpu::{ArithOp, SmallFloatUnit};
+
+fn operands(fmt: FormatKind, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let v = 1.0 + (i as f64 * 0.611) % 1.0;
+            fmt.format().round_from_f64(v, RoundingMode::NearestEven).bits
+        })
+        .collect()
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpu_scalar");
+    const N: usize = 1024;
+    group.throughput(Throughput::Elements(N as u64));
+    for &fmt in &ALL_KINDS {
+        let a = operands(fmt, N);
+        let b = operands(fmt, N);
+        group.bench_function(BenchmarkId::new("mul", fmt.to_string()), |bch| {
+            bch.iter(|| {
+                let mut fpu = SmallFloatUnit::new();
+                let mut last = 0u64;
+                for i in 0..N {
+                    last = fpu.scalar(ArithOp::Mul, fmt, black_box(a[i]), black_box(b[i])).lanes[0];
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpu_vector");
+    const N: usize = 1024;
+    group.throughput(Throughput::Elements(N as u64));
+    for &fmt in &ALL_KINDS {
+        if fmt.simd_lanes() < 2 {
+            continue;
+        }
+        let lanes = fmt.simd_lanes() as usize;
+        let a = operands(fmt, N);
+        let b = operands(fmt, N);
+        group.bench_function(BenchmarkId::new("mul", fmt.to_string()), |bch| {
+            bch.iter(|| {
+                let mut fpu = SmallFloatUnit::new();
+                let mut sum = 0u64;
+                for chunk in 0..(N / lanes) {
+                    let s = chunk * lanes;
+                    let out = fpu.vector(
+                        ArithOp::Mul,
+                        fmt,
+                        black_box(&a[s..s + lanes]),
+                        black_box(&b[s..s + lanes]),
+                    );
+                    sum ^= out.lanes[0];
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpu_convert");
+    const N: usize = 1024;
+    group.throughput(Throughput::Elements(N as u64));
+    let a32 = operands(FormatKind::Binary32, N);
+    for &to in &[FormatKind::Binary16, FormatKind::Binary16Alt, FormatKind::Binary8] {
+        group.bench_function(BenchmarkId::new("from_binary32", to.to_string()), |bch| {
+            bch.iter(|| {
+                let mut fpu = SmallFloatUnit::new();
+                let mut last = 0u64;
+                for &x in &a32 {
+                    last = fpu.convert(FormatKind::Binary32, to, black_box(x)).lanes[0];
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1600))
+        .sample_size(20);
+    targets = bench_scalar, bench_vector, bench_conversions
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E5 — Fig. 6: memory accesses and execution cycles for the three
+//! precision requirements, normalized to the binary32 baseline, with the
+//! vectorial and cast contributions highlighted.
+//!
+//! Paper anchors: memory accesses −27 % average (−36 % excluding JACOBI and
+//! PCA; SVM best at −48 %); cycles −12 % average (−17 % excluding the
+//! outliers); JACOBI ≈ 100 %; PCA can exceed 100 % at tight thresholds due
+//! to cast overhead.
+
+use tp_bench::{evaluate_suite, mean, pct, THRESHOLDS};
+use tp_platform::PlatformParams;
+
+fn main() {
+    println!("E5: Fig. 6 — normalized memory accesses and cycles");
+    let params = PlatformParams::paper();
+
+    for &threshold in &THRESHOLDS {
+        println!("\nthreshold {threshold:.0e}");
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "app", "mem", "(vec)", "cycles", "(vecFP)", "(casts)", "(stall)"
+        );
+        let mut mem_ratios = Vec::new();
+        let mut cyc_ratios = Vec::new();
+        let mut mem_core = Vec::new();
+        let mut cyc_core = Vec::new();
+        for r in evaluate_suite(threshold, &params) {
+            let mem = r.memory_ratio();
+            let cyc = r.cycle_ratio();
+            let base_cycles = r.baseline.cycles.total() as f64;
+            println!(
+                "{:>8} {} {} {} {} {} {}",
+                r.app,
+                pct(mem),
+                pct(r.tuned.memory.vector_accesses as f64 / r.baseline.memory.total() as f64),
+                pct(cyc),
+                pct(r.tuned.cycles.fp_vector as f64 / base_cycles),
+                pct(r.tuned.cycles.casts as f64 / base_cycles),
+                pct(r.tuned.cycles.stalls as f64 / base_cycles),
+            );
+            mem_ratios.push(mem);
+            cyc_ratios.push(cyc);
+            if r.app != "JACOBI" && r.app != "PCA" {
+                mem_core.push(mem);
+                cyc_core.push(cyc);
+            }
+        }
+        println!(
+            "{:>8} {}{:>10} {}  (excl. JACOBI/PCA: mem {}, cycles {})",
+            "average",
+            pct(mean(&mem_ratios)),
+            "",
+            pct(mean(&cyc_ratios)),
+            pct(mean(&mem_core)),
+            pct(mean(&cyc_core)),
+        );
+    }
+
+    println!("\nPaper: memory 73% avg (64% excl. outliers, SVM best ~52%);");
+    println!("cycles 88% avg (83% excl. outliers); JACOBI ~100%; PCA worst.");
+}

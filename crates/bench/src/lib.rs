@@ -1,0 +1,142 @@
+//! Experiment driver shared by the table/figure harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index); the functions
+//! here do the work so that integration tests can assert on the same data
+//! the binaries print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flexfloat::{Recorder, TraceCounts, TypeConfig};
+use tp_formats::TypeSystem;
+use tp_platform::{evaluate, PlatformParams, PlatformReport};
+use tp_tuner::{distributed_search, validated_storage_config, SearchParams, Tunable, TuningOutcome};
+
+/// The three output-quality thresholds of the evaluation
+/// (the paper's `SQNR = 10⁻¹, 10⁻², 10⁻³`).
+pub const THRESHOLDS: [f64; 3] = [1e-1, 1e-2, 1e-3];
+
+/// Input set used for the measured (post-tuning) runs.
+pub const MEASURE_SET: usize = 0;
+
+/// Full evaluation of one application at one quality threshold.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Application name.
+    pub app: String,
+    /// Quality threshold.
+    pub threshold: f64,
+    /// The tuning outcome (per-variable precisions).
+    pub outcome: TuningOutcome,
+    /// Variables mapped onto the platform's storage formats (V2).
+    pub storage: TypeConfig,
+    /// Trace counts of the all-binary32 baseline run.
+    pub baseline_counts: TraceCounts,
+    /// Trace counts of the tuned run.
+    pub tuned_counts: TraceCounts,
+    /// Platform model over the baseline run.
+    pub baseline: PlatformReport,
+    /// Platform model over the tuned run.
+    pub tuned: PlatformReport,
+}
+
+impl AppResult {
+    /// Tuned cycles relative to the binary32 baseline.
+    #[must_use]
+    pub fn cycle_ratio(&self) -> f64 {
+        self.tuned.cycles.total() as f64 / self.baseline.cycles.total() as f64
+    }
+
+    /// Tuned memory accesses relative to the binary32 baseline.
+    #[must_use]
+    pub fn memory_ratio(&self) -> f64 {
+        self.tuned.memory.total() as f64 / self.baseline.memory.total() as f64
+    }
+
+    /// Tuned energy relative to the binary32 baseline.
+    #[must_use]
+    pub fn energy_ratio(&self) -> f64 {
+        self.tuned.energy.total() / self.baseline.energy.total()
+    }
+}
+
+/// Records one run of `app` under `config` on the measurement input set.
+#[must_use]
+pub fn record_run(app: &dyn Tunable, config: &TypeConfig) -> TraceCounts {
+    let ((), counts) = Recorder::record(|| {
+        let _ = app.run(config, MEASURE_SET);
+    });
+    counts
+}
+
+/// Tunes `app` at `threshold` and evaluates baseline + tuned runs on the
+/// platform model.
+#[must_use]
+pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) -> AppResult {
+    let search = SearchParams::paper(threshold);
+    let outcome = distributed_search(app, search);
+    let storage = validated_storage_config(app, &outcome, TypeSystem::V2, search.input_sets);
+    let baseline_counts = record_run(app, &TypeConfig::baseline());
+    let tuned_counts = record_run(app, &storage);
+    let baseline = evaluate(&baseline_counts, params);
+    let tuned = evaluate(&tuned_counts, params);
+    AppResult {
+        app: app.name().to_owned(),
+        threshold,
+        outcome,
+        storage,
+        baseline_counts,
+        tuned_counts,
+        baseline,
+        tuned,
+    }
+}
+
+/// Evaluates the whole suite at one threshold.
+#[must_use]
+pub fn evaluate_suite(threshold: f64, params: &PlatformParams) -> Vec<AppResult> {
+    tp_kernels::all_kernels()
+        .iter()
+        .map(|app| evaluate_app(app.as_ref(), threshold, params))
+        .collect()
+}
+
+/// Formats a ratio as a percentage string (`0.876` → `" 87.6%"`).
+#[must_use]
+pub fn pct(ratio: f64) -> String {
+    format!("{:5.1}%", ratio * 100.0)
+}
+
+/// Geometric-mean-free average of ratios (the paper reports arithmetic
+/// averages of normalized values).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_kernels::Conv;
+
+    #[test]
+    fn evaluate_app_produces_consistent_ratios() {
+        let app = Conv::small();
+        let r = evaluate_app(&app, 1e-1, &PlatformParams::paper());
+        assert!(r.cycle_ratio() > 0.0 && r.cycle_ratio() < 2.0);
+        assert!(r.memory_ratio() > 0.0 && r.memory_ratio() <= 1.0);
+        assert!(r.energy_ratio() > 0.0 && r.energy_ratio() < 2.0);
+        assert_eq!(r.app, "CONV");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.876), " 87.6%");
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

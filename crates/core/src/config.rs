@@ -1,0 +1,151 @@
+//! Per-variable type configurations — the contract between instrumented
+//! programs and the precision tuner.
+//!
+//! A tunable program declares its *variables* (scalars and arrays, the
+//! paper's "memory locations") as [`VarSpec`]s; a [`TypeConfig`] assigns a
+//! format to each. The tuner explores `TypeConfig`s; the programming flow's
+//! step 3 maps the tuned `(e, m)` pairs onto the platform's named formats.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tp_formats::{FpFormat, BINARY32};
+
+/// Description of one tunable program variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarSpec {
+    /// Stable name used in configurations and reports.
+    pub name: &'static str,
+    /// Number of memory locations behind the name (1 for scalars, the
+    /// element count for arrays). Fig. 4 of the paper weights variables by
+    /// this.
+    pub elements: usize,
+}
+
+impl VarSpec {
+    /// A scalar variable.
+    #[must_use]
+    pub fn scalar(name: &'static str) -> Self {
+        VarSpec { name, elements: 1 }
+    }
+
+    /// An array variable with `elements` memory locations.
+    #[must_use]
+    pub fn array(name: &'static str, elements: usize) -> Self {
+        VarSpec { name, elements }
+    }
+}
+
+impl fmt::Display for VarSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.elements)
+    }
+}
+
+/// Assignment of a format to every variable of a program.
+///
+/// Unknown variables default to [`BINARY32`], the format every
+/// off-the-shelf application starts from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeConfig {
+    assignments: BTreeMap<&'static str, FpFormat>,
+    default: FpFormat,
+}
+
+impl TypeConfig {
+    /// The all-binary32 baseline configuration.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::uniform(BINARY32)
+    }
+
+    /// A configuration assigning `fmt` to every variable.
+    #[must_use]
+    pub fn uniform(fmt: FpFormat) -> Self {
+        TypeConfig { assignments: BTreeMap::new(), default: fmt }
+    }
+
+    /// Sets the format of one variable (builder-style).
+    #[must_use]
+    pub fn with(mut self, name: &'static str, fmt: FpFormat) -> Self {
+        self.assignments.insert(name, fmt);
+        self
+    }
+
+    /// Sets the format of one variable.
+    pub fn set(&mut self, name: &'static str, fmt: FpFormat) {
+        self.assignments.insert(name, fmt);
+    }
+
+    /// The format assigned to `name` (the default if unset).
+    #[must_use]
+    pub fn format_of(&self, name: &str) -> FpFormat {
+        self.assignments.get(name).copied().unwrap_or(self.default)
+    }
+
+    /// Iterates over the explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, FpFormat)> + '_ {
+        self.assignments.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// `true` if every assignment (and the default) is `fmt`.
+    #[must_use]
+    pub fn is_uniform(&self, fmt: FpFormat) -> bool {
+        self.default == fmt && self.assignments.values().all(|f| *f == fmt)
+    }
+}
+
+impl Default for TypeConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl fmt::Display for TypeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "default={}", self.default)?;
+        for (name, fmt_) in &self.assignments {
+            write!(f, " {name}={fmt_}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_formats::{BINARY16, BINARY8};
+
+    #[test]
+    fn baseline_defaults_to_binary32() {
+        let cfg = TypeConfig::baseline();
+        assert_eq!(cfg.format_of("anything"), BINARY32);
+        assert!(cfg.is_uniform(BINARY32));
+    }
+
+    #[test]
+    fn assignments_override_default() {
+        let cfg = TypeConfig::baseline().with("x", BINARY8).with("y", BINARY16);
+        assert_eq!(cfg.format_of("x"), BINARY8);
+        assert_eq!(cfg.format_of("y"), BINARY16);
+        assert_eq!(cfg.format_of("z"), BINARY32);
+        assert!(!cfg.is_uniform(BINARY32));
+        assert_eq!(cfg.iter().count(), 2);
+    }
+
+    #[test]
+    fn var_specs() {
+        let s = VarSpec::scalar("acc");
+        let a = VarSpec::array("grid", 1024);
+        assert_eq!(s.elements, 1);
+        assert_eq!(a.elements, 1024);
+        assert_eq!(a.to_string(), "grid[1024]");
+    }
+
+    #[test]
+    fn display_lists_assignments() {
+        let cfg = TypeConfig::baseline().with("x", BINARY8);
+        let s = cfg.to_string();
+        assert!(s.contains("x=flexfloat<5,2>"), "{s}");
+    }
+}

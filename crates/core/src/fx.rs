@@ -1,0 +1,478 @@
+//! Runtime-format values ([`Fx`]) and arrays ([`FxArray`]) — the dynamic
+//! twin of [`FlexFloat`](crate::FlexFloat) used by the precision-tuning flow,
+//! where formats are search parameters rather than compile-time constants.
+//!
+//! # Semantics
+//!
+//! * Every value carries its [`FpFormat`]; its backing `f64` is always
+//!   exactly representable in that format.
+//! * Arithmetic between *equal* formats executes in that format.
+//! * Arithmetic between *different* formats promotes the less precise
+//!   operand (fewer mantissa bits; ties broken toward fewer exponent bits)
+//!   to the more precise format, **recording the cast** — this models the
+//!   explicit conversion the C++ programmer is forced to write, and makes
+//!   cast overhead observable (critical for reproducing PCA's behaviour in
+//!   Figs. 6–7 of the paper).
+//! * Storing into an [`FxArray`] rounds to the array's format, recording a
+//!   cast when the source format differs; loads and stores record memory
+//!   events of the element's width.
+
+use tp_formats::{FpFormat, BINARY32};
+
+use crate::stats::{EventId, OpKind, Recorder};
+
+/// A floating-point value with a runtime-chosen format.
+///
+/// ```
+/// use flexfloat::Fx;
+/// use tp_formats::{BINARY16, BINARY8};
+///
+/// let a = Fx::new(1.2, BINARY8);          // rounds to 1.25
+/// let b = Fx::new(0.1, BINARY16);
+/// let c = a + b;                           // a is promoted to binary16
+/// assert_eq!(c.format(), BINARY16);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fx {
+    val: f64,
+    fmt: FpFormat,
+    /// Id of the FP instruction that produced this value (0 = none), used
+    /// for pipeline-stall accounting.
+    prod: EventId,
+}
+
+impl Fx {
+    /// Creates a value by rounding `x` into `fmt` (no event recorded — this
+    /// is a literal / initialization, not a runtime cast).
+    #[must_use]
+    pub fn new(x: f64, fmt: FpFormat) -> Self {
+        Fx { val: fmt.sanitize_f64(x), fmt, prod: 0 }
+    }
+
+    /// Zero in `fmt`.
+    #[must_use]
+    pub fn zero(fmt: FpFormat) -> Self {
+        Fx { val: 0.0, fmt, prod: 0 }
+    }
+
+    /// The backing value (exactly representable in [`Fx::format`]).
+    #[inline]
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.val
+    }
+
+    /// The value's format.
+    #[inline]
+    #[must_use]
+    pub fn format(self) -> FpFormat {
+        self.fmt
+    }
+
+    /// Converts to `dst`, recording a cast event when the format changes.
+    #[must_use]
+    pub fn to(self, dst: FpFormat) -> Self {
+        if dst == self.fmt {
+            return self;
+        }
+        if Recorder::is_enabled() {
+            Recorder::cast(self.fmt, dst);
+        }
+        Fx { val: dst.sanitize_f64(self.val), fmt: dst, prod: 0 }
+    }
+
+    /// Square root in this value's format.
+    #[must_use]
+    pub fn sqrt(self) -> Self {
+        let prod = if Recorder::is_enabled() {
+            Recorder::fp_op(self.fmt, OpKind::Sqrt, self.prod, 0)
+        } else {
+            0
+        };
+        Fx {
+            val: self.fmt.sanitize_f64(self.val.sqrt()),
+            fmt: self.fmt,
+            prod,
+        }
+    }
+
+    /// Absolute value (sign manipulation; free, not recorded).
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Fx { val: self.val.abs(), ..self }
+    }
+
+    /// The smaller of two values (records one comparison op).
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        let (a, b, fmt) = Self::promote(self, other);
+        let prod = if Recorder::is_enabled() {
+            Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod)
+        } else {
+            0
+        };
+        let val = if a.val.is_nan() || b.val <= a.val { b.val } else { a.val };
+        Fx { val, fmt, prod }
+    }
+
+    /// The larger of two values (records one comparison op).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        let (a, b, fmt) = Self::promote(self, other);
+        let prod = if Recorder::is_enabled() {
+            Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod)
+        } else {
+            0
+        };
+        let val = if a.val.is_nan() || b.val >= a.val { b.val } else { a.val };
+        Fx { val, fmt, prod }
+    }
+
+    /// `self < other` as a hardware comparison (records one op).
+    #[must_use]
+    pub fn lt(self, other: Self) -> bool {
+        let (a, b, fmt) = Self::promote(self, other);
+        if Recorder::is_enabled() {
+            Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
+        }
+        a.val < b.val
+    }
+
+    /// `self <= other` as a hardware comparison (records one op).
+    #[must_use]
+    pub fn le(self, other: Self) -> bool {
+        let (a, b, fmt) = Self::promote(self, other);
+        if Recorder::is_enabled() {
+            Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
+        }
+        a.val <= b.val
+    }
+
+    /// Promotes the less precise operand to the more precise format,
+    /// recording a cast if one is inserted. Returns both operands in the
+    /// common format.
+    fn promote(a: Fx, b: Fx) -> (Fx, Fx, FpFormat) {
+        if a.fmt == b.fmt {
+            return (a, b, a.fmt);
+        }
+        // More mantissa bits wins; on equal mantissa, more exponent bits
+        // wins; if still incomparable in one dimension, the wider storage
+        // wins. For the platform's four formats this picks:
+        //   b8 vs b16     -> b16      b8 vs b16alt -> b16alt
+        //   b16 vs b16alt -> b16      anything vs b32 -> b32
+        let a_key = (a.fmt.man_bits(), a.fmt.exp_bits());
+        let b_key = (b.fmt.man_bits(), b.fmt.exp_bits());
+        if a_key >= b_key {
+            (a, b.to(a.fmt), a.fmt)
+        } else {
+            (a.to(b.fmt), b, b.fmt)
+        }
+    }
+
+    fn bin_op(self, rhs: Fx, kind: OpKind, f: impl FnOnce(f64, f64) -> f64) -> Fx {
+        let (a, b, fmt) = Self::promote(self, rhs);
+        let prod = if Recorder::is_enabled() {
+            Recorder::fp_op(fmt, kind, a.prod, b.prod)
+        } else {
+            0
+        };
+        let raw = f(a.val, b.val);
+        // Exact for every format the platform deploys (m <= 23 <= 25); the
+        // tuner never instantiates wider mantissas than binary32's.
+        Fx { val: fmt.sanitize_f64(raw), fmt, prod }
+    }
+}
+
+impl std::ops::Add for Fx {
+    type Output = Fx;
+    fn add(self, rhs: Fx) -> Fx {
+        self.bin_op(rhs, OpKind::AddSub, |a, b| a + b)
+    }
+}
+
+impl std::ops::Sub for Fx {
+    type Output = Fx;
+    fn sub(self, rhs: Fx) -> Fx {
+        self.bin_op(rhs, OpKind::AddSub, |a, b| a - b)
+    }
+}
+
+impl std::ops::Mul for Fx {
+    type Output = Fx;
+    fn mul(self, rhs: Fx) -> Fx {
+        self.bin_op(rhs, OpKind::Mul, |a, b| a * b)
+    }
+}
+
+impl std::ops::Div for Fx {
+    type Output = Fx;
+    fn div(self, rhs: Fx) -> Fx {
+        self.bin_op(rhs, OpKind::Div, |a, b| a / b)
+    }
+}
+
+impl std::ops::Neg for Fx {
+    type Output = Fx;
+    fn neg(self) -> Fx {
+        Fx { val: -self.val, ..self }
+    }
+}
+
+impl PartialEq for Fx {
+    fn eq(&self, other: &Self) -> bool {
+        self.val == other.val
+    }
+}
+
+impl PartialOrd for Fx {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.val.partial_cmp(&other.val)
+    }
+}
+
+impl std::fmt::Display for Fx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.val)
+    }
+}
+
+/// An array of values stored in a single runtime-chosen format — a tunable
+/// "memory location" in the paper's sense (Fig. 4 counts the elements of
+/// these arrays).
+///
+/// Loads and stores record memory-traffic events of the element width,
+/// which is how narrower formats translate into fewer data-memory bytes
+/// (and, inside vector sections, into packed SIMD accesses).
+#[derive(Debug, Clone)]
+pub struct FxArray {
+    fmt: FpFormat,
+    data: Vec<f64>,
+}
+
+impl FxArray {
+    /// Creates an array by rounding `values` into `fmt` (initialization;
+    /// no events recorded).
+    #[must_use]
+    pub fn from_f64s(fmt: FpFormat, values: &[f64]) -> Self {
+        let data = values.iter().map(|&x| fmt.sanitize_f64(x)).collect();
+        FxArray { fmt, data }
+    }
+
+    /// Creates a zero-filled array of `len` elements.
+    #[must_use]
+    pub fn zeros(fmt: FpFormat, len: usize) -> Self {
+        FxArray { fmt, data: vec![0.0; len] }
+    }
+
+    /// The element format.
+    #[must_use]
+    pub fn format(&self) -> FpFormat {
+        self.fmt
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Loads element `i`, recording a load of the element width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Fx {
+        if Recorder::is_enabled() {
+            // Loads complete in one cycle on the PULPino TCDM, so the loaded
+            // value never stalls a consumer (prod stays 0).
+            Recorder::load(self.fmt.total_bits());
+        }
+        Fx { val: self.data[i], fmt: self.fmt, prod: 0 }
+    }
+
+    /// Stores `v` into element `i`, rounding to the array's format
+    /// (recording a cast when `v`'s format differs) and recording a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, v: Fx) {
+        let v = v.to(self.fmt);
+        if Recorder::is_enabled() {
+            Recorder::store(self.fmt.total_bits());
+        }
+        self.data[i] = v.value();
+    }
+
+    /// Reads the raw values without recording events (for result
+    /// extraction and quality evaluation).
+    #[must_use]
+    pub fn to_f64s(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+
+    /// Reads element `i` without recording events.
+    #[must_use]
+    pub fn peek(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+}
+
+/// A convenience binary32 literal: the format every off-the-shelf program
+/// starts from before tuning.
+#[must_use]
+pub fn fx32(x: f64) -> Fx {
+    Fx::new(x, BINARY32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{Recorder, VectorSection};
+    use tp_formats::{BINARY16, BINARY16ALT, BINARY8};
+
+    #[test]
+    fn construction_rounds_into_format() {
+        assert_eq!(Fx::new(0.3, BINARY8).value(), 0.3125);
+        assert_eq!(Fx::new(0.3, BINARY32).value(), 0.3f32 as f64);
+    }
+
+    #[test]
+    fn same_format_arithmetic() {
+        let a = Fx::new(1.5, BINARY8);
+        let b = Fx::new(0.25, BINARY8);
+        let c = a + b;
+        assert_eq!(c.value(), 1.75);
+        assert_eq!(c.format(), BINARY8);
+    }
+
+    #[test]
+    fn promotion_picks_more_precise() {
+        let a = Fx::new(1.0, BINARY8);
+        let b = Fx::new(1.0, BINARY16);
+        assert_eq!((a + b).format(), BINARY16);
+        let c = Fx::new(1.0, BINARY16ALT);
+        assert_eq!((a + c).format(), BINARY16ALT);
+        // binary16 (m=10) beats binary16alt (m=7).
+        assert_eq!((b * c).format(), BINARY16);
+        assert_eq!((c * fx32(1.0)).format(), BINARY32);
+    }
+
+    #[test]
+    fn promotion_records_cast() {
+        let (_, counts) = Recorder::record(|| {
+            let a = Fx::new(1.0, BINARY8);
+            let b = Fx::new(1.0, BINARY16);
+            let _ = a + b;
+        });
+        assert_eq!(counts.total_casts(), 1);
+        assert_eq!(counts.casts.get(&(BINARY8, BINARY16)).unwrap().total(), 1);
+        assert_eq!(counts.fp_ops_in(BINARY16), 1);
+    }
+
+    #[test]
+    fn to_same_format_is_free() {
+        let (_, counts) = Recorder::record(|| {
+            let a = Fx::new(1.0, BINARY8);
+            let _ = a.to(BINARY8);
+        });
+        assert_eq!(counts.total_casts(), 0);
+    }
+
+    #[test]
+    fn dependent_pair_detection_through_values() {
+        let (_, counts) = Recorder::record(|| {
+            let a = Fx::new(1.5, BINARY32);
+            let b = Fx::new(2.5, BINARY32);
+            let c = a * b; // producer
+            let _d = c + a; // consumer immediately follows
+        });
+        assert_eq!(counts.dependent_pairs.get(&BINARY32).map(|c| c.total()), Some(1));
+
+        let (_, counts) = Recorder::record(|| {
+            let a = Fx::new(1.5, BINARY32);
+            let b = Fx::new(2.5, BINARY32);
+            let c = a * b;
+            let _x = b * b; // independent op fills the latency slot
+            let _d = c + a; // consumer no longer adjacent to its producer
+        });
+        assert_eq!(counts.dependent_pairs.get(&BINARY32), None);
+    }
+
+    #[test]
+    fn array_loads_and_stores() {
+        let (_, counts) = Recorder::record(|| {
+            let mut arr = FxArray::from_f64s(BINARY16, &[1.0, 2.0, 3.0]);
+            let a = arr.get(0);
+            let b = arr.get(1);
+            arr.set(2, a + b);
+            assert_eq!(arr.peek(2), 3.0);
+        });
+        assert_eq!(counts.loads.get(&16).unwrap().total(), 2);
+        assert_eq!(counts.stores.get(&16).unwrap().total(), 1);
+        assert_eq!(counts.total_fp_ops(), 1);
+    }
+
+    #[test]
+    fn store_casts_when_formats_differ() {
+        let (_, counts) = Recorder::record(|| {
+            let mut arr = FxArray::zeros(BINARY8, 1);
+            let v = Fx::new(1.0, BINARY32);
+            arr.set(0, v);
+        });
+        assert_eq!(counts.casts.get(&(BINARY32, BINARY8)).unwrap().total(), 1);
+        assert_eq!(counts.stores.get(&8).unwrap().total(), 1);
+    }
+
+    #[test]
+    fn vector_section_marks_array_traffic() {
+        let (_, counts) = Recorder::record(|| {
+            let arr = FxArray::from_f64s(BINARY8, &[1.0, 2.0, 3.0, 4.0]);
+            let _v = VectorSection::enter();
+            let mut acc = Fx::zero(BINARY8);
+            for i in 0..4 {
+                acc = acc + arr.get(i);
+            }
+            assert_eq!(acc.value(), 10.0);
+        });
+        assert_eq!(counts.loads.get(&8).unwrap().vector, 4);
+        assert_eq!(counts.ops.get(&(BINARY8, crate::OpKind::AddSub)).unwrap().vector, 4);
+    }
+
+    #[test]
+    fn saturation_on_narrowing_cast() {
+        // binary16alt value outside binary16 range saturates to infinity —
+        // the effect that disqualifies binary16 for wide-range variables.
+        let big = Fx::new(1e10, BINARY16ALT);
+        let narrow = big.to(BINARY16);
+        assert!(narrow.value().is_infinite());
+    }
+
+    #[test]
+    fn comparisons_record_ops() {
+        let (_, counts) = Recorder::record(|| {
+            let a = Fx::new(1.0, BINARY8);
+            let b = Fx::new(2.0, BINARY8);
+            assert!(a.lt(b));
+            assert!(a.le(a));
+            let _ = a.min(b);
+            let _ = a.max(b);
+        });
+        assert_eq!(counts.ops.get(&(BINARY8, crate::OpKind::Cmp)).unwrap().total(), 4);
+    }
+
+    #[test]
+    fn min_max_values() {
+        let a = Fx::new(-1.0, BINARY16);
+        let b = Fx::new(2.0, BINARY16);
+        assert_eq!(a.min(b).value(), -1.0);
+        assert_eq!(a.max(b).value(), 2.0);
+    }
+}

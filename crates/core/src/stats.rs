@@ -1,0 +1,500 @@
+//! Operation statistics and trace accounting.
+//!
+//! The C++ FlexFloat library collects, per instantiated format, the number
+//! of operations and casts a program performs, with a separate report for
+//! manually-tagged *vectorizable* sections (Section III-B, step 4 of the
+//! paper). This module reproduces that machinery: a thread-local
+//! [`Recorder`] accumulates [`TraceCounts`] while instrumented code
+//! (`FlexFloat`, [`Fx`](crate::Fx), [`FxArray`](crate::FxArray)) executes.
+//!
+//! The counts are exactly the quantities the PULPino-like platform model
+//! (`tp-platform`) needs to reproduce Figures 5–7: FP operations per format
+//! split into scalar/vector, the cast matrix, memory traffic by element
+//! width, integer/control overhead and the number of *dependent issue
+//! pairs* (an FP result consumed by the immediately following instruction,
+//! which costs a pipeline bubble on 2-cycle FP operations).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+use tp_formats::FpFormat;
+
+/// Kinds of floating-point operations the platform distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Addition or subtraction (one hardware block in the FPU slices).
+    AddSub,
+    /// Multiplication.
+    Mul,
+    /// Division (iterative in hardware; emulated on PULPino).
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Fused multiply-add.
+    Fma,
+    /// Comparison / min / max.
+    Cmp,
+}
+
+impl OpKind {
+    /// All kinds, for report iteration.
+    pub const ALL: [OpKind; 6] =
+        [OpKind::AddSub, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Fma, OpKind::Cmp];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::AddSub => "add/sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Sqrt => "sqrt",
+            OpKind::Fma => "fma",
+            OpKind::Cmp => "cmp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar/vector pair of counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Events outside vectorizable sections.
+    pub scalar: u64,
+    /// Events inside manually-tagged vectorizable sections.
+    pub vector: u64,
+}
+
+impl OpCounts {
+    /// Total events.
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.scalar + self.vector
+    }
+
+    fn bump(&mut self, vector: bool) {
+        if vector {
+            self.vector += 1;
+        } else {
+            self.scalar += 1;
+        }
+    }
+
+    fn merge(&mut self, other: OpCounts) {
+        self.scalar += other.scalar;
+        self.vector += other.vector;
+    }
+}
+
+/// Aggregated execution statistics of an instrumented region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Arithmetic/comparison operations, by (format, kind).
+    pub ops: HashMap<(FpFormat, OpKind), OpCounts>,
+    /// Format conversions, by (source, destination).
+    pub casts: HashMap<(FpFormat, FpFormat), OpCounts>,
+    /// Loads of FP data, by element width in bits.
+    pub loads: HashMap<u32, OpCounts>,
+    /// Stores of FP data, by element width in bits.
+    pub stores: HashMap<u32, OpCounts>,
+    /// Integer / control / address instructions (the paper's "other ops").
+    pub int_ops: u64,
+    /// FP operations whose result is consumed by the *immediately following*
+    /// recorded instruction, keyed by the producer's format and split into
+    /// scalar/vector occurrences. On the paper's core, 32-bit and 16-bit FP
+    /// operations have a 2-cycle latency, so each such pair costs one
+    /// pipeline bubble unless the producer is 1-cycle (vector occurrences
+    /// are per element; the cycle model divides by the lane count).
+    pub dependent_pairs: HashMap<FpFormat, OpCounts>,
+}
+
+impl TraceCounts {
+    /// Creates an empty set of counts.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total FP arithmetic operations (all formats, scalar + vector),
+    /// casts excluded.
+    #[must_use]
+    pub fn total_fp_ops(&self) -> u64 {
+        self.ops.values().map(|c| c.total()).sum()
+    }
+
+    /// Total cast operations.
+    #[must_use]
+    pub fn total_casts(&self) -> u64 {
+        self.casts.values().map(|c| c.total()).sum()
+    }
+
+    /// Total FP memory accesses (loads + stores, before SIMD packing).
+    #[must_use]
+    pub fn total_mem_accesses(&self) -> u64 {
+        self.loads.values().chain(self.stores.values()).map(|c| c.total()).sum()
+    }
+
+    /// FP operations executed in `fmt` (scalar + vector).
+    #[must_use]
+    pub fn fp_ops_in(&self, fmt: FpFormat) -> u64 {
+        self.ops.iter().filter(|((f, _), _)| *f == fmt).map(|(_, c)| c.total()).sum()
+    }
+
+    /// Share of FP operations executed in formats narrower than 32 bits.
+    ///
+    /// This is the paper's headline "up to 90 % of FP operations can be
+    /// scaled down to 8-bit or 16-bit formats" metric.
+    #[must_use]
+    pub fn small_format_op_share(&self) -> f64 {
+        let total = self.total_fp_ops();
+        if total == 0 {
+            return 0.0;
+        }
+        let small: u64 = self
+            .ops
+            .iter()
+            .filter(|((f, _), _)| f.total_bits() < 32)
+            .map(|(_, c)| c.total())
+            .sum();
+        small as f64 / total as f64
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &TraceCounts) {
+        for (k, v) in &other.ops {
+            self.ops.entry(*k).or_default().merge(*v);
+        }
+        for (k, v) in &other.casts {
+            self.casts.entry(*k).or_default().merge(*v);
+        }
+        for (k, v) in &other.loads {
+            self.loads.entry(*k).or_default().merge(*v);
+        }
+        for (k, v) in &other.stores {
+            self.stores.entry(*k).or_default().merge(*v);
+        }
+        self.int_ops += other.int_ops;
+        for (k, v) in &other.dependent_pairs {
+            self.dependent_pairs.entry(*k).or_default().merge(*v);
+        }
+    }
+}
+
+/// Identifier of a recorded instruction, used to detect back-to-back
+/// producer/consumer pairs. `0` means "no producer".
+pub type EventId = u64;
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    enabled: bool,
+    counts: TraceCounts,
+    /// Monotone instruction counter (1-based; 0 = none).
+    next_id: EventId,
+    /// Format of the most recent *FP arithmetic* instruction, if it was the
+    /// most recent instruction overall.
+    last_fp: Option<(EventId, FpFormat)>,
+    vector_depth: u32,
+}
+
+thread_local! {
+    static RECORDER: RefCell<RecorderState> = RefCell::new(RecorderState::default());
+}
+
+/// Handle for the thread-local statistics recorder.
+///
+/// Recording is off by default: uninstrumented use of `FlexFloat` costs only
+/// a thread-local flag check per operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Recorder;
+
+impl Recorder {
+    /// Enables recording and clears any previously-collected counts.
+    pub fn start() {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            *s = RecorderState { enabled: true, ..Default::default() };
+        });
+    }
+
+    /// Stops recording and returns the collected counts.
+    #[must_use]
+    pub fn stop() -> TraceCounts {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            s.enabled = false;
+            std::mem::take(&mut s.counts)
+        })
+    }
+
+    /// Runs `f` with recording enabled and returns its result together with
+    /// the counts collected during the call.
+    pub fn record<T>(f: impl FnOnce() -> T) -> (T, TraceCounts) {
+        Recorder::start();
+        let out = f();
+        (out, Recorder::stop())
+    }
+
+    /// `true` while recording is enabled on this thread.
+    #[must_use]
+    pub fn is_enabled() -> bool {
+        RECORDER.with(|r| r.borrow().enabled)
+    }
+
+    /// Records an FP arithmetic operation in `fmt` whose operands were
+    /// produced by instructions `dep_a` and `dep_b` (0 = constant/none).
+    /// Returns the id of the new instruction, to be attached to its result.
+    pub fn fp_op(fmt: FpFormat, kind: OpKind, dep_a: EventId, dep_b: EventId) -> EventId {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return 0;
+            }
+            s.next_id += 1;
+            let id = s.next_id;
+            let vector = s.vector_depth > 0;
+            s.counts.ops.entry((fmt, kind)).or_default().bump(vector);
+            if let Some((pid, pfmt)) = s.last_fp {
+                if pid + 1 == id && (dep_a == pid || dep_b == pid) {
+                    s.counts.dependent_pairs.entry(pfmt).or_default().bump(vector);
+                }
+            }
+            s.last_fp = Some((id, fmt));
+            id
+        })
+    }
+
+    /// Records a conversion from `from` to `to`. Casts are 1-cycle
+    /// operations and never stall a consumer.
+    pub fn cast(from: FpFormat, to: FpFormat) -> EventId {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return 0;
+            }
+            s.next_id += 1;
+            let vector = s.vector_depth > 0;
+            s.counts.casts.entry((from, to)).or_default().bump(vector);
+            s.last_fp = None;
+            s.next_id
+        })
+    }
+
+    /// Records a load of an FP element of `width_bits`.
+    pub fn load(width_bits: u32) -> EventId {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return 0;
+            }
+            s.next_id += 1;
+            let vector = s.vector_depth > 0;
+            s.counts.loads.entry(width_bits).or_default().bump(vector);
+            s.last_fp = None;
+            s.next_id
+        })
+    }
+
+    /// Records a store of an FP element of `width_bits`.
+    pub fn store(width_bits: u32) {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return;
+            }
+            s.next_id += 1;
+            let vector = s.vector_depth > 0;
+            s.counts.stores.entry(width_bits).or_default().bump(vector);
+            s.last_fp = None;
+        });
+    }
+
+    /// Records `n` integer/control instructions (loop bookkeeping, address
+    /// arithmetic, branches — the paper's "other ops").
+    pub fn int_ops(n: u64) {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return;
+            }
+            s.next_id += n;
+            s.counts.int_ops += n;
+            s.last_fp = None;
+        });
+    }
+
+    /// Takes a snapshot of the counts collected so far without stopping.
+    #[must_use]
+    pub fn snapshot() -> TraceCounts {
+        RECORDER.with(|r| r.borrow().counts.clone())
+    }
+
+    fn enter_vector() {
+        RECORDER.with(|r| r.borrow_mut().vector_depth += 1);
+    }
+
+    fn exit_vector() {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            debug_assert!(s.vector_depth > 0, "unbalanced vector section");
+            s.vector_depth = s.vector_depth.saturating_sub(1);
+        });
+    }
+}
+
+/// RAII guard marking a *vectorizable* region, the Rust equivalent of the
+/// paper's manual source tags. Every operation recorded while at least one
+/// guard is alive is counted in the vector column of the reports.
+///
+/// ```
+/// use flexfloat::{Recorder, VectorSection};
+///
+/// Recorder::start();
+/// {
+///     let _v = VectorSection::enter();
+///     // ... element-wise loop the compiler could vectorize ...
+/// }
+/// let counts = Recorder::stop();
+/// # let _ = counts;
+/// ```
+#[derive(Debug)]
+pub struct VectorSection(());
+
+impl VectorSection {
+    /// Opens a vectorizable region; close it by dropping the guard.
+    #[must_use]
+    pub fn enter() -> Self {
+        Recorder::enter_vector();
+        VectorSection(())
+    }
+}
+
+impl Drop for VectorSection {
+    fn drop(&mut self) {
+        Recorder::exit_vector();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_formats::{BINARY16, BINARY32, BINARY8};
+
+    #[test]
+    fn disabled_recorder_counts_nothing() {
+        let _ = Recorder::stop(); // ensure off and clear
+        let id = Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+        assert_eq!(id, 0);
+        assert_eq!(Recorder::snapshot().total_fp_ops(), 0);
+    }
+
+    #[test]
+    fn records_ops_and_casts() {
+        let ((), counts) = Recorder::record(|| {
+            let a = Recorder::fp_op(BINARY32, OpKind::AddSub, 0, 0);
+            let _b = Recorder::fp_op(BINARY32, OpKind::Mul, a, 0); // dependent pair
+            Recorder::cast(BINARY32, BINARY8);
+            Recorder::load(16);
+            Recorder::store(8);
+            Recorder::int_ops(3);
+        });
+        assert_eq!(counts.total_fp_ops(), 2);
+        assert_eq!(counts.total_casts(), 1);
+        assert_eq!(counts.total_mem_accesses(), 2);
+        assert_eq!(counts.int_ops, 3);
+        assert_eq!(counts.dependent_pairs.get(&BINARY32).map(|c| c.total()), Some(1));
+        assert_eq!(counts.casts.get(&(BINARY32, BINARY8)).unwrap().total(), 1);
+    }
+
+    #[test]
+    fn dependent_pair_requires_adjacency() {
+        let ((), counts) = Recorder::record(|| {
+            let a = Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+            Recorder::int_ops(1); // intervening instruction fills the slot
+            let _ = Recorder::fp_op(BINARY32, OpKind::AddSub, a, 0);
+        });
+        assert!(counts.dependent_pairs.is_empty());
+    }
+
+    #[test]
+    fn dependent_pair_requires_true_dependency() {
+        let ((), counts) = Recorder::record(|| {
+            let _a = Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+            // Adjacent but independent.
+            let _b = Recorder::fp_op(BINARY32, OpKind::AddSub, 0, 0);
+        });
+        assert!(counts.dependent_pairs.is_empty());
+    }
+
+    #[test]
+    fn vector_sections_split_counters() {
+        let ((), counts) = Recorder::record(|| {
+            Recorder::fp_op(BINARY16, OpKind::Mul, 0, 0);
+            {
+                let _v = VectorSection::enter();
+                Recorder::fp_op(BINARY16, OpKind::Mul, 0, 0);
+                Recorder::fp_op(BINARY16, OpKind::Mul, 0, 0);
+                Recorder::load(16);
+            }
+            Recorder::load(16);
+        });
+        let ops = counts.ops.get(&(BINARY16, OpKind::Mul)).unwrap();
+        assert_eq!(ops.scalar, 1);
+        assert_eq!(ops.vector, 2);
+        let loads = counts.loads.get(&16).unwrap();
+        assert_eq!((loads.scalar, loads.vector), (1, 1));
+    }
+
+    #[test]
+    fn nested_vector_sections() {
+        let ((), counts) = Recorder::record(|| {
+            let _a = VectorSection::enter();
+            {
+                let _b = VectorSection::enter();
+                Recorder::fp_op(BINARY8, OpKind::AddSub, 0, 0);
+            }
+            // still inside the outer section
+            Recorder::fp_op(BINARY8, OpKind::AddSub, 0, 0);
+        });
+        assert_eq!(counts.ops.get(&(BINARY8, OpKind::AddSub)).unwrap().vector, 2);
+    }
+
+    #[test]
+    fn small_format_share() {
+        let ((), counts) = Recorder::record(|| {
+            for _ in 0..9 {
+                Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+            }
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+        });
+        assert!((counts.small_format_op_share() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let ((), a) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+            Recorder::int_ops(2);
+        });
+        let ((), b) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+            Recorder::load(32);
+        });
+        let mut sum = TraceCounts::new();
+        sum.merge(&a);
+        sum.merge(&b);
+        assert_eq!(sum.total_fp_ops(), 2);
+        assert_eq!(sum.int_ops, 2);
+        assert_eq!(sum.total_mem_accesses(), 1);
+    }
+
+    #[test]
+    fn record_resets_between_runs() {
+        let ((), a) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+        });
+        let ((), b) = Recorder::record(|| {});
+        assert_eq!(a.total_fp_ops(), 1);
+        assert_eq!(b.total_fp_ops(), 0);
+    }
+}

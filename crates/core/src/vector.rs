@@ -1,0 +1,209 @@
+//! [`FlexVec`] — explicit sub-word SIMD vectors over [`FlexFloat`] lanes.
+//!
+//! The paper's FPU executes two 16-bit or four 8-bit operations per issue;
+//! its software flow only *tags* vectorizable regions because "sub-word
+//! vectorization is not supported by the current FlexFloat implementation"
+//! (Section V-A). This module supplies that missing piece for the Rust
+//! library: a packed vector of `32 / width` lanes whose element-wise
+//! operations record exactly one vector event per lane in the statistics —
+//! i.e. programs written with `FlexVec` produce the same traces as the
+//! manually-tagged loops, but with the packing enforced by the type system.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::flex::FlexFloat;
+use crate::stats::VectorSection;
+
+/// A packed vector of `N` reduced-precision lanes.
+///
+/// `N` must equal the sub-word lane count of the format (`32 / total_bits`):
+/// 4 for binary8, 2 for the 16-bit formats. This is checked at construction.
+///
+/// ```
+/// use flexfloat::{Binary8, FlexVec};
+///
+/// let a = FlexVec::<5, 2, 4>::splat(1.5);
+/// let b = FlexVec::<5, 2, 4>::from_f64s([1.0, 2.0, 3.0, 4.0]);
+/// let c = a * b;
+/// // Each lane rounds independently: 4.5 ties to even (4.0) in binary8.
+/// assert_eq!(c.to_f64s(), [1.5, 3.0, 4.0, 6.0]);
+/// # let _: [Binary8; 4] = c.lanes();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlexVec<const E: u32, const M: u32, const N: usize>([FlexFloat<E, M>; N]);
+
+impl<const E: u32, const M: u32, const N: usize> FlexVec<E, M, N> {
+    /// Lane count implied by the format width on the 32-bit datapath.
+    pub const LANES: usize = (32 / FlexFloat::<E, M>::FORMAT.total_bits()) as usize;
+
+    const fn check_lanes() {
+        assert!(N == Self::LANES, "lane count must be 32 / format width");
+        assert!(N >= 2, "32-bit formats have a single lane; use FlexFloat");
+    }
+
+    /// Builds a vector from its lanes.
+    #[must_use]
+    pub fn new(lanes: [FlexFloat<E, M>; N]) -> Self {
+        const { Self::check_lanes() };
+        FlexVec(lanes)
+    }
+
+    /// Builds a vector by rounding `N` native values.
+    #[must_use]
+    pub fn from_f64s(values: [f64; N]) -> Self {
+        Self::new(values.map(FlexFloat::new))
+    }
+
+    /// Broadcasts one value to every lane.
+    #[must_use]
+    pub fn splat(x: f64) -> Self {
+        Self::new([FlexFloat::new(x); N])
+    }
+
+    /// The lanes.
+    #[must_use]
+    pub fn lanes(self) -> [FlexFloat<E, M>; N] {
+        self.0
+    }
+
+    /// The lanes as native values.
+    #[must_use]
+    pub fn to_f64s(self) -> [f64; N] {
+        self.0.map(FlexFloat::to_f64)
+    }
+
+    /// Horizontal sum (reduction tree; `N−1` scalar additions, recorded as
+    /// scalar operations — reductions serialize on the real unit too).
+    #[must_use]
+    pub fn reduce_sum(self) -> FlexFloat<E, M> {
+        let mut acc = self.0[0];
+        for lane in &self.0[1..] {
+            acc = acc + *lane;
+        }
+        acc
+    }
+
+    /// Element-wise fused multiply-add `self * b + c` (one vector FMA
+    /// issue).
+    #[must_use]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        let _v = VectorSection::enter();
+        let mut out = self.0;
+        for i in 0..N {
+            out[i] = self.0[i].mul_add(b.0[i], c.0[i]);
+        }
+        FlexVec(out)
+    }
+
+    fn lanewise(self, rhs: Self, f: impl Fn(FlexFloat<E, M>, FlexFloat<E, M>) -> FlexFloat<E, M>) -> Self {
+        // Entering a vector section makes the per-lane records land in the
+        // vector counters, which the cycle/energy models then pack back
+        // into single issues.
+        let _v = VectorSection::enter();
+        let mut out = self.0;
+        for i in 0..N {
+            out[i] = f(self.0[i], rhs.0[i]);
+        }
+        FlexVec(out)
+    }
+}
+
+impl<const E: u32, const M: u32, const N: usize> Add for FlexVec<E, M, N> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.lanewise(rhs, |a, b| a + b)
+    }
+}
+
+impl<const E: u32, const M: u32, const N: usize> Sub for FlexVec<E, M, N> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.lanewise(rhs, |a, b| a - b)
+    }
+}
+
+impl<const E: u32, const M: u32, const N: usize> Mul for FlexVec<E, M, N> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.lanewise(rhs, |a, b| a * b)
+    }
+}
+
+impl<const E: u32, const M: u32, const N: usize> Div for FlexVec<E, M, N> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self.lanewise(rhs, |a, b| a / b)
+    }
+}
+
+impl<const E: u32, const M: u32, const N: usize> Neg for FlexVec<E, M, N> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        FlexVec(self.0.map(|x| -x))
+    }
+}
+
+/// Four packed binary8 lanes.
+pub type Vec4x8 = FlexVec<5, 2, 4>;
+/// Two packed binary16 lanes.
+pub type Vec2x16 = FlexVec<5, 10, 2>;
+/// Two packed binary16alt lanes.
+pub type Vec2x16Alt = FlexVec<8, 7, 2>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Recorder;
+    use tp_formats::BINARY8;
+
+    #[test]
+    fn elementwise_ops_round_per_lane() {
+        let a = Vec4x8::from_f64s([1.2, 2.0, 3.3, 4.0]);
+        assert_eq!(a.to_f64s(), [1.25, 2.0, 3.5, 4.0]); // entry rounding
+        let b = Vec4x8::splat(2.0);
+        assert_eq!((a * b).to_f64s(), [2.5, 4.0, 7.0, 8.0]);
+        assert_eq!((a + a).to_f64s(), [2.5, 4.0, 7.0, 8.0]);
+        assert_eq!((-a).to_f64s(), [-1.25, -2.0, -3.5, -4.0]);
+    }
+
+    #[test]
+    fn ops_record_as_vector_events() {
+        let (_, counts) = Recorder::record(|| {
+            let a = Vec4x8::splat(1.0);
+            let b = Vec4x8::splat(0.5);
+            let _ = a * b; // 4 lane ops, all vector-tagged
+            let _ = a + b;
+        });
+        let vector: u64 = counts.ops.values().map(|c| c.vector).sum();
+        let scalar: u64 = counts.ops.values().map(|c| c.scalar).sum();
+        assert_eq!(vector, 8);
+        assert_eq!(scalar, 0);
+        assert_eq!(counts.fp_ops_in(BINARY8), 8);
+    }
+
+    #[test]
+    fn reduction_is_scalar() {
+        let (sum, counts) = Recorder::record(|| {
+            Vec4x8::from_f64s([1.0, 2.0, 3.0, 4.0]).reduce_sum()
+        });
+        assert_eq!(sum.to_f64(), 10.0);
+        let scalar: u64 = counts.ops.values().map(|c| c.scalar).sum();
+        assert_eq!(scalar, 3);
+    }
+
+    #[test]
+    fn two_lane_16bit_vectors() {
+        let a = Vec2x16::from_f64s([1.5, -2.25]);
+        let b = Vec2x16Alt::from_f64s([1.5, -2.25]);
+        assert_eq!((a + a).to_f64s(), [3.0, -4.5]);
+        assert_eq!((b * b).to_f64s(), [2.25, 5.0625]);
+    }
+
+    #[test]
+    fn vector_fma_single_rounding() {
+        let a = Vec2x16::splat(1.0 + 2f64.powi(-10));
+        let b = Vec2x16::splat(1.0 - 2f64.powi(-10));
+        let c = Vec2x16::splat(-1.0);
+        assert_eq!(a.mul_add(b, c).to_f64s(), [-(2f64.powi(-20)); 2]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The central correctness claim of the FlexFloat approach (paper Section
+//! III-A): computing on the native backing type and *sanitizing* the result
+//! "produces the same results of a dedicated hardware unit (i.e., precise at
+//! bit level)". We verify it by differential testing against the
+//! pure-integer `tp-softfloat` kernels for every named format.
+
+use flexfloat::{Binary16, Binary16Alt, Binary32, Binary8, Fx};
+use proptest::prelude::*;
+use tp_formats::{FpFormat, RoundingMode, BINARY16, BINARY16ALT, BINARY32, BINARY8};
+use tp_softfloat::ops;
+
+const RNE: RoundingMode = RoundingMode::NearestEven;
+
+/// Checks one (a, b) pair in one format across all four binary operators.
+fn check_pair(fmt: FpFormat, a_bits: u64, b_bits: u64, flex: impl Fn(f64, f64) -> [f64; 4]) {
+    let va = fmt.decode_to_f64(a_bits);
+    let vb = fmt.decode_to_f64(b_bits);
+    if va.is_nan() || vb.is_nan() {
+        return;
+    }
+    let [fa, fs, fm, fd] = flex(va, vb);
+    let sa = fmt.decode_to_f64(ops::add(fmt, a_bits, b_bits, RNE));
+    let ss = fmt.decode_to_f64(ops::sub(fmt, a_bits, b_bits, RNE));
+    let sm = fmt.decode_to_f64(ops::mul(fmt, a_bits, b_bits, RNE));
+    let sd = fmt.decode_to_f64(ops::div(fmt, a_bits, b_bits, RNE));
+    let same = |x: f64, y: f64, op: &str| {
+        assert!(
+            x == y || (x.is_nan() && y.is_nan()) || (x == 0.0 && y == 0.0),
+            "{fmt} {op}: flexfloat {x:e} != softfloat {y:e} for a={va:e} b={vb:e}"
+        );
+    };
+    same(fa, sa, "add");
+    same(fs, ss, "sub");
+    same(fm, sm, "mul");
+    same(fd, sd, "div");
+}
+
+#[test]
+fn binary8_equivalence_exhaustive() {
+    // All 65536 operand pairs of the 8-bit format.
+    for a in 0..=0xFFu64 {
+        for b in 0..=0xFFu64 {
+            check_pair(BINARY8, a, b, |x, y| {
+                let (fx, fy) = (Binary8::from(x), Binary8::from(y));
+                [
+                    (fx + fy).to_f64(),
+                    (fx - fy).to_f64(),
+                    (fx * fy).to_f64(),
+                    (fx / fy).to_f64(),
+                ]
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    #[test]
+    fn binary16_equivalence(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a & BINARY16.bits_mask(), b & BINARY16.bits_mask());
+        check_pair(BINARY16, a, b, |x, y| {
+            let (fx, fy) = (Binary16::from(x), Binary16::from(y));
+            [(fx + fy).to_f64(), (fx - fy).to_f64(), (fx * fy).to_f64(), (fx / fy).to_f64()]
+        });
+    }
+
+    #[test]
+    fn binary16alt_equivalence(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a & BINARY16ALT.bits_mask(), b & BINARY16ALT.bits_mask());
+        check_pair(BINARY16ALT, a, b, |x, y| {
+            let (fx, fy) = (Binary16Alt::from(x), Binary16Alt::from(y));
+            [(fx + fy).to_f64(), (fx - fy).to_f64(), (fx * fy).to_f64(), (fx / fy).to_f64()]
+        });
+    }
+
+    #[test]
+    fn binary32_equivalence(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a & BINARY32.bits_mask(), b & BINARY32.bits_mask());
+        check_pair(BINARY32, a, b, |x, y| {
+            let (fx, fy) = (Binary32::from(x), Binary32::from(y));
+            [(fx + fy).to_f64(), (fx - fy).to_f64(), (fx * fy).to_f64(), (fx / fy).to_f64()]
+        });
+    }
+
+    /// The dynamic Fx type agrees with the static FlexFloat type.
+    #[test]
+    fn fx_matches_flexfloat(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a & BINARY16.bits_mask(), b & BINARY16.bits_mask());
+        let va = BINARY16.decode_to_f64(a);
+        let vb = BINARY16.decode_to_f64(b);
+        prop_assume!(!va.is_nan() && !vb.is_nan());
+        let (da, db) = (Fx::new(va, BINARY16), Fx::new(vb, BINARY16));
+        let (sa, sb) = (Binary16::from(va), Binary16::from(vb));
+        let eq = |x: f64, y: f64| x == y || (x.is_nan() && y.is_nan());
+        prop_assert!(eq((da + db).value(), (sa + sb).to_f64()));
+        prop_assert!(eq((da - db).value(), (sa - sb).to_f64()));
+        prop_assert!(eq((da * db).value(), (sa * sb).to_f64()));
+        prop_assert!(eq((da / db).value(), (sa / sb).to_f64()));
+    }
+
+    /// sqrt equivalence on non-negative values.
+    #[test]
+    fn sqrt_equivalence(a in any::<u64>()) {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            let bits = a & (fmt.bits_mask() >> 1); // clear sign
+            let v = fmt.decode_to_f64(bits);
+            prop_assume!(!v.is_nan());
+            let flex = Fx::new(v, fmt).sqrt().value();
+            let soft = fmt.decode_to_f64(ops::sqrt(fmt, bits, RNE));
+            prop_assert!(
+                flex == soft || (flex.is_nan() && soft.is_nan()),
+                "{} sqrt({:e}): {:e} vs {:e}", fmt, v, flex, soft
+            );
+        }
+    }
+
+    /// Casts between all format pairs agree with softfloat conversions.
+    #[test]
+    fn cast_equivalence(raw in any::<u64>()) {
+        let fmts = [BINARY8, BINARY16, BINARY16ALT, BINARY32];
+        for src in fmts {
+            for dst in fmts {
+                let bits = raw & src.bits_mask();
+                let v = src.decode_to_f64(bits);
+                prop_assume!(!v.is_nan());
+                let flex = Fx::new(v, src).to(dst).value();
+                let soft = dst.decode_to_f64(ops::convert(src, dst, bits, RNE));
+                prop_assert!(
+                    flex == soft || (flex == 0.0 && soft == 0.0),
+                    "{} -> {}: {:e} vs {:e}", src, dst, flex, soft
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Classification of encoded values.
+
+use std::fmt;
+
+use crate::FpFormat;
+
+/// IEEE 754 class of an encoded value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatClass {
+    /// Positive or negative zero.
+    Zero,
+    /// A subnormal (denormal) number.
+    Subnormal,
+    /// A normal number.
+    Normal,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Not a number (quiet or signalling).
+    Nan,
+}
+
+impl FloatClass {
+    /// Classifies a bit pattern of `fmt`.
+    ///
+    /// ```
+    /// use tp_formats::{FloatClass, BINARY8};
+    ///
+    /// assert_eq!(FloatClass::of_bits(BINARY8, 0), FloatClass::Zero);
+    /// assert_eq!(FloatClass::of_bits(BINARY8, BINARY8.inf_bits(false)), FloatClass::Infinite);
+    /// ```
+    #[must_use]
+    pub fn of_bits(fmt: FpFormat, bits: u64) -> Self {
+        let (_, exp, man) = fmt.unpack(bits);
+        if exp == fmt.exp_field_max() {
+            if man == 0 {
+                FloatClass::Infinite
+            } else {
+                FloatClass::Nan
+            }
+        } else if exp == 0 {
+            if man == 0 {
+                FloatClass::Zero
+            } else {
+                FloatClass::Subnormal
+            }
+        } else {
+            FloatClass::Normal
+        }
+    }
+
+    /// `true` for zero, subnormal and normal values.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        matches!(self, FloatClass::Zero | FloatClass::Subnormal | FloatClass::Normal)
+    }
+}
+
+impl fmt::Display for FloatClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FloatClass::Zero => "zero",
+            FloatClass::Subnormal => "subnormal",
+            FloatClass::Normal => "normal",
+            FloatClass::Infinite => "infinite",
+            FloatClass::Nan => "nan",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BINARY16, BINARY32, BINARY8};
+
+    #[test]
+    fn classify_specials() {
+        for fmt in [BINARY8, BINARY16, BINARY32] {
+            assert_eq!(FloatClass::of_bits(fmt, fmt.zero_bits(false)), FloatClass::Zero);
+            assert_eq!(FloatClass::of_bits(fmt, fmt.zero_bits(true)), FloatClass::Zero);
+            assert_eq!(FloatClass::of_bits(fmt, fmt.inf_bits(false)), FloatClass::Infinite);
+            assert_eq!(FloatClass::of_bits(fmt, fmt.inf_bits(true)), FloatClass::Infinite);
+            assert_eq!(FloatClass::of_bits(fmt, fmt.quiet_nan_bits()), FloatClass::Nan);
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.min_subnormal_bits()),
+                FloatClass::Subnormal
+            );
+            assert_eq!(FloatClass::of_bits(fmt, fmt.min_normal_bits()), FloatClass::Normal);
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.max_finite_bits(false)),
+                FloatClass::Normal
+            );
+        }
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(FloatClass::Zero.is_finite());
+        assert!(FloatClass::Subnormal.is_finite());
+        assert!(FloatClass::Normal.is_finite());
+        assert!(!FloatClass::Infinite.is_finite());
+        assert!(!FloatClass::Nan.is_finite());
+    }
+
+    #[test]
+    fn exhaustive_binary8_matches_decode() {
+        // The class of every binary8 encoding agrees with the class of its
+        // decoded f64 value (NaN payloads aside).
+        for bits in 0..=0xFFu64 {
+            let class = FloatClass::of_bits(BINARY8, bits);
+            let v = BINARY8.decode_to_f64(bits);
+            match class {
+                FloatClass::Zero => assert_eq!(v, 0.0),
+                FloatClass::Infinite => assert!(v.is_infinite()),
+                FloatClass::Nan => assert!(v.is_nan()),
+                FloatClass::Subnormal => {
+                    assert!(v.is_finite() && v != 0.0 && v.abs() < BINARY8.min_normal());
+                }
+                FloatClass::Normal => assert!(v.abs() >= BINARY8.min_normal()),
+            }
+        }
+    }
+}

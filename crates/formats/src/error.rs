@@ -1,0 +1,57 @@
+//! Error types for format construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an [`FpFormat`](crate::FpFormat) description is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatError {
+    /// The exponent width is outside the supported `1..=11` range.
+    ExponentBits(u32),
+    /// The mantissa width is outside the supported `1..=52` range.
+    MantissaBits(u32),
+    /// Sign + exponent + mantissa exceed 64 bits.
+    TooWide {
+        /// Requested exponent bits.
+        exp_bits: u32,
+        /// Requested mantissa bits.
+        man_bits: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::ExponentBits(e) => {
+                write!(f, "exponent width {e} is outside the supported range 1..=11")
+            }
+            FormatError::MantissaBits(m) => {
+                write!(f, "mantissa width {m} is outside the supported range 1..=52")
+            }
+            FormatError::TooWide { exp_bits, man_bits } => write!(
+                f,
+                "format 1+{exp_bits}+{man_bits} does not fit in 64 bits"
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        let msgs = [
+            FormatError::ExponentBits(0).to_string(),
+            FormatError::MantissaBits(53).to_string(),
+            FormatError::TooWide { exp_bits: 11, man_bits: 52 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase start: {m}");
+        }
+    }
+}

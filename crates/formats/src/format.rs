@@ -1,0 +1,384 @@
+//! The [`FpFormat`] descriptor and its derived quantities.
+
+use std::fmt;
+
+use crate::FormatError;
+
+/// Description of an IEEE 754-style binary floating-point format:
+/// one sign bit, `exp_bits` exponent bits and `man_bits` explicit
+/// mantissa bits (plus the implicit leading one for normal numbers).
+///
+/// Encodings follow IEEE 754 conventions: an all-zero exponent field holds
+/// zero and subnormals, an all-one exponent field holds infinities and NaNs,
+/// and the exponent bias is `2^(e-1) - 1`.
+///
+/// Bit patterns of a format are carried in the low `total_bits()` bits of a
+/// `u64`, sign bit at the top of that window.
+///
+/// ```
+/// use tp_formats::FpFormat;
+///
+/// let fmt = FpFormat::new(7, 12)?; // the flexfloat<7,12> of the paper
+/// assert_eq!(fmt.total_bits(), 20);
+/// assert_eq!(fmt.bias(), 63);
+/// assert_eq!(fmt.precision_bits(), 13); // implicit bit included
+/// # Ok::<(), tp_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FpFormat {
+    exp_bits: u32,
+    man_bits: u32,
+}
+
+impl FpFormat {
+    /// Creates a format with `exp_bits` exponent and `man_bits` mantissa bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] unless `1 <= exp_bits <= 11`,
+    /// `1 <= man_bits <= 52` and the total width fits in 64 bits. These
+    /// bounds guarantee that every value of the format (including all
+    /// subnormals) is exactly representable in an `f64`, which both
+    /// emulation back-ends rely on.
+    pub fn new(exp_bits: u32, man_bits: u32) -> Result<Self, FormatError> {
+        if !(1..=11).contains(&exp_bits) {
+            return Err(FormatError::ExponentBits(exp_bits));
+        }
+        if !(1..=52).contains(&man_bits) {
+            return Err(FormatError::MantissaBits(man_bits));
+        }
+        if 1 + exp_bits + man_bits > 64 {
+            return Err(FormatError::TooWide { exp_bits, man_bits });
+        }
+        Ok(FpFormat { exp_bits, man_bits })
+    }
+
+    /// `const` constructor for the named formats.
+    ///
+    /// # Panics
+    ///
+    /// Panics at compile time if the widths are outside the ranges accepted
+    /// by [`FpFormat::new`].
+    #[must_use]
+    pub const fn new_const(exp_bits: u32, man_bits: u32) -> Self {
+        assert!(exp_bits >= 1 && exp_bits <= 11, "exponent width out of range");
+        assert!(man_bits >= 1 && man_bits <= 52, "mantissa width out of range");
+        assert!(1 + exp_bits + man_bits <= 64, "format too wide");
+        FpFormat { exp_bits, man_bits }
+    }
+
+    /// Number of exponent bits `e`.
+    #[inline]
+    #[must_use]
+    pub const fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of explicit mantissa bits `m`.
+    #[inline]
+    #[must_use]
+    pub const fn man_bits(self) -> u32 {
+        self.man_bits
+    }
+
+    /// Total storage width in bits: `1 + e + m`.
+    #[inline]
+    #[must_use]
+    pub const fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Precision in the IEEE sense: `m + 1` (implicit bit included).
+    #[inline]
+    #[must_use]
+    pub const fn precision_bits(self) -> u32 {
+        self.man_bits + 1
+    }
+
+    /// Exponent bias: `2^(e-1) - 1`.
+    #[inline]
+    #[must_use]
+    pub const fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest unbiased exponent of a normal number (equals the bias).
+    #[inline]
+    #[must_use]
+    pub const fn emax(self) -> i32 {
+        self.bias()
+    }
+
+    /// Smallest unbiased exponent of a normal number: `1 - bias`.
+    #[inline]
+    #[must_use]
+    pub const fn emin(self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Maximum value of the biased exponent field (all ones), which encodes
+    /// infinities and NaNs.
+    #[inline]
+    #[must_use]
+    pub const fn exp_field_max(self) -> u64 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// Bit mask covering the mantissa field.
+    #[inline]
+    #[must_use]
+    pub const fn man_mask(self) -> u64 {
+        (1 << self.man_bits) - 1
+    }
+
+    /// Bit mask covering the whole encoding (low `total_bits()` bits).
+    #[inline]
+    #[must_use]
+    pub const fn bits_mask(self) -> u64 {
+        if self.total_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Position of the sign bit inside the encoding.
+    #[inline]
+    #[must_use]
+    pub const fn sign_shift(self) -> u32 {
+        self.exp_bits + self.man_bits
+    }
+
+    /// Assembles an encoding from its fields.
+    ///
+    /// `exp_field` must fit in `e` bits and `man_field` in `m` bits
+    /// (checked with `debug_assert!`).
+    #[inline]
+    #[must_use]
+    pub fn pack(self, sign: bool, exp_field: u64, man_field: u64) -> u64 {
+        debug_assert!(exp_field <= self.exp_field_max());
+        debug_assert!(man_field <= self.man_mask());
+        ((sign as u64) << self.sign_shift()) | (exp_field << self.man_bits) | man_field
+    }
+
+    /// Splits an encoding into `(sign, exp_field, man_field)`.
+    #[inline]
+    #[must_use]
+    pub fn unpack(self, bits: u64) -> (bool, u64, u64) {
+        let bits = bits & self.bits_mask();
+        let sign = (bits >> self.sign_shift()) & 1 == 1;
+        let exp = (bits >> self.man_bits) & self.exp_field_max();
+        let man = bits & self.man_mask();
+        (sign, exp, man)
+    }
+
+    /// Encoding of positive zero.
+    #[inline]
+    #[must_use]
+    pub const fn zero_bits(self, sign: bool) -> u64 {
+        (sign as u64) << self.sign_shift()
+    }
+
+    /// Encoding of infinity with the given sign.
+    #[inline]
+    #[must_use]
+    pub fn inf_bits(self, sign: bool) -> u64 {
+        self.pack(sign, self.exp_field_max(), 0)
+    }
+
+    /// The canonical quiet NaN: exponent all ones, mantissa MSB set,
+    /// sign positive (the convention used by FPnew-style hardware).
+    #[inline]
+    #[must_use]
+    pub fn quiet_nan_bits(self) -> u64 {
+        self.pack(false, self.exp_field_max(), 1 << (self.man_bits - 1))
+    }
+
+    /// Encoding of the largest finite value with the given sign.
+    #[inline]
+    #[must_use]
+    pub fn max_finite_bits(self, sign: bool) -> u64 {
+        self.pack(sign, self.exp_field_max() - 1, self.man_mask())
+    }
+
+    /// Encoding of the smallest positive normal value.
+    #[inline]
+    #[must_use]
+    pub fn min_normal_bits(self) -> u64 {
+        self.pack(false, 1, 0)
+    }
+
+    /// Encoding of the smallest positive subnormal value.
+    #[inline]
+    #[must_use]
+    pub fn min_subnormal_bits(self) -> u64 {
+        self.pack(false, 0, 1)
+    }
+
+    /// Largest finite value, as an `f64` (exact).
+    #[must_use]
+    pub fn max_finite(self) -> f64 {
+        self.decode_to_f64(self.max_finite_bits(false))
+    }
+
+    /// Smallest positive normal value, as an `f64` (exact).
+    #[must_use]
+    pub fn min_normal(self) -> f64 {
+        self.decode_to_f64(self.min_normal_bits())
+    }
+
+    /// Smallest positive subnormal value, as an `f64` (exact).
+    #[must_use]
+    pub fn min_subnormal(self) -> f64 {
+        self.decode_to_f64(self.min_subnormal_bits())
+    }
+
+    /// Dynamic range in decades: `log10(max_finite / min_subnormal)`.
+    ///
+    /// The paper compares formats by this figure (e.g. `binary16alt` matches
+    /// the range of `binary32`, not of `binary16`).
+    #[must_use]
+    pub fn dynamic_range_decades(self) -> f64 {
+        (self.max_finite() / self.min_subnormal()).log10()
+    }
+
+    /// Number of distinct finite encodings (including both zeros).
+    #[must_use]
+    pub const fn finite_encodings(self) -> u64 {
+        // Two signs × (exp_field_max values of exponent) × 2^m mantissas.
+        2 * self.exp_field_max() * (1 << self.man_bits)
+    }
+
+    /// Returns `true` if every value of `other` is exactly representable in
+    /// `self` (i.e. `self` is a superset format: at least as many exponent
+    /// *and* mantissa bits).
+    #[must_use]
+    pub const fn is_superset_of(self, other: FpFormat) -> bool {
+        self.exp_bits >= other.exp_bits && self.man_bits >= other.man_bits
+    }
+}
+
+impl fmt::Display for FpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flexfloat<{},{}>", self.exp_bits, self.man_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BINARY16, BINARY16ALT, BINARY32, BINARY64, BINARY8};
+
+    #[test]
+    fn named_format_layout() {
+        assert_eq!((BINARY8.exp_bits(), BINARY8.man_bits()), (5, 2));
+        assert_eq!((BINARY16.exp_bits(), BINARY16.man_bits()), (5, 10));
+        assert_eq!((BINARY16ALT.exp_bits(), BINARY16ALT.man_bits()), (8, 7));
+        assert_eq!((BINARY32.exp_bits(), BINARY32.man_bits()), (8, 23));
+        assert_eq!(BINARY8.total_bits(), 8);
+        assert_eq!(BINARY16.total_bits(), 16);
+        assert_eq!(BINARY16ALT.total_bits(), 16);
+        assert_eq!(BINARY32.total_bits(), 32);
+        assert_eq!(BINARY64.total_bits(), 64);
+    }
+
+    #[test]
+    fn biases_match_ieee() {
+        assert_eq!(BINARY8.bias(), 15);
+        assert_eq!(BINARY16.bias(), 15);
+        assert_eq!(BINARY16ALT.bias(), 127);
+        assert_eq!(BINARY32.bias(), 127);
+        assert_eq!(BINARY64.bias(), 1023);
+        assert_eq!(BINARY32.emin(), -126);
+        assert_eq!(BINARY32.emax(), 127);
+    }
+
+    #[test]
+    fn construction_bounds() {
+        assert!(FpFormat::new(0, 2).is_err());
+        assert!(FpFormat::new(12, 2).is_err());
+        assert!(FpFormat::new(5, 0).is_err());
+        assert!(FpFormat::new(5, 53).is_err());
+        assert!(FpFormat::new(11, 52).is_ok());
+        assert!(FpFormat::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            for sign in [false, true] {
+                for exp in [0, 1, fmt.exp_field_max() - 1, fmt.exp_field_max()] {
+                    for man in [0, 1, fmt.man_mask()] {
+                        let bits = fmt.pack(sign, exp, man);
+                        assert_eq!(fmt.unpack(bits), (sign, exp, man));
+                        assert!(bits <= fmt.bits_mask());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn special_encodings_match_ieee_f32() {
+        // Cross-check BINARY32 special encodings against native f32.
+        assert_eq!(BINARY32.inf_bits(false), f32::INFINITY.to_bits() as u64);
+        assert_eq!(BINARY32.inf_bits(true), f32::NEG_INFINITY.to_bits() as u64);
+        assert_eq!(BINARY32.max_finite_bits(false), f32::MAX.to_bits() as u64);
+        assert_eq!(BINARY32.min_normal_bits(), f32::MIN_POSITIVE.to_bits() as u64);
+        assert_eq!(BINARY32.zero_bits(true), (-0.0f32).to_bits() as u64);
+    }
+
+    #[test]
+    fn extreme_values_match_ieee_f32() {
+        assert_eq!(BINARY32.max_finite(), f32::MAX as f64);
+        assert_eq!(BINARY32.min_normal(), f32::MIN_POSITIVE as f64);
+        assert_eq!(BINARY32.min_subnormal(), f32::from_bits(1) as f64);
+    }
+
+    #[test]
+    fn binary8_extremes() {
+        // binary8: emax = 15, max mantissa 1.75 -> 1.75 * 2^15 = 57344.
+        assert_eq!(BINARY8.max_finite(), 57344.0);
+        // min normal = 2^-14, min subnormal = 2^-16.
+        assert_eq!(BINARY8.min_normal(), 2f64.powi(-14));
+        assert_eq!(BINARY8.min_subnormal(), 2f64.powi(-16));
+    }
+
+    #[test]
+    fn binary16alt_shares_binary32_range() {
+        // Same exponent count => same normal range magnitudes.
+        assert_eq!(BINARY16ALT.emax(), BINARY32.emax());
+        assert_eq!(BINARY16ALT.emin(), BINARY32.emin());
+        assert!(BINARY16ALT.dynamic_range_decades() > BINARY16.dynamic_range_decades());
+    }
+
+    #[test]
+    fn binary8_mirrors_binary16_range() {
+        assert_eq!(BINARY8.emax(), BINARY16.emax());
+        assert_eq!(BINARY8.emin(), BINARY16.emin());
+    }
+
+    #[test]
+    fn superset_relation() {
+        assert!(BINARY32.is_superset_of(BINARY16));
+        assert!(BINARY32.is_superset_of(BINARY16ALT));
+        assert!(BINARY32.is_superset_of(BINARY8));
+        assert!(BINARY16.is_superset_of(BINARY8));
+        // The two 16-bit formats are incomparable.
+        assert!(!BINARY16.is_superset_of(BINARY16ALT));
+        assert!(!BINARY16ALT.is_superset_of(BINARY16));
+        assert!(BINARY64.is_superset_of(BINARY32));
+    }
+
+    #[test]
+    fn display_uses_template_notation() {
+        assert_eq!(BINARY8.to_string(), "flexfloat<5,2>");
+        assert_eq!(FpFormat::new(7, 12).unwrap().to_string(), "flexfloat<7,12>");
+    }
+
+    #[test]
+    fn finite_encoding_count() {
+        // binary8: 2 * 31 * 4 = 248 finite encodings (8 non-finite of 256).
+        assert_eq!(BINARY8.finite_encodings(), 248);
+    }
+}

@@ -1,0 +1,70 @@
+//! Floating-point format descriptors, bit-level encodings and rounding for
+//! the transprecision platform.
+//!
+//! This crate is the foundation of the workspace: it defines what a
+//! floating-point *format* is (`sign + e exponent bits + m mantissa bits`,
+//! IEEE 754-style), provides the four named formats of the DATE 2018 paper
+//! ([`BINARY8`], [`BINARY16`], [`BINARY16ALT`], [`BINARY32`]), and implements
+//! the exact, correctly-rounded conversions between such formats and native
+//! `f64` values that both emulation back-ends
+//! (`flexfloat` and `tp-softfloat`) build upon.
+//!
+//! # Quick example
+//!
+//! ```
+//! use tp_formats::{FpFormat, RoundingMode, BINARY8};
+//!
+//! // binary8 = 1 sign + 5 exponent + 2 mantissa bits.
+//! assert_eq!(BINARY8.total_bits(), 8);
+//! assert_eq!(BINARY8.bias(), 15);
+//!
+//! // Round 0.3 into binary8 and decode it back: only ~1 significant
+//! // decimal digit survives.
+//! let bits = BINARY8.round_from_f64(0.3, RoundingMode::NearestEven).bits;
+//! let back = BINARY8.decode_to_f64(bits);
+//! assert_eq!(back, 0.3125);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod convert;
+mod error;
+mod format;
+mod kind;
+mod rounding;
+mod ulp;
+
+pub use class::FloatClass;
+pub use convert::RoundOutcome;
+pub use error::FormatError;
+pub use format::FpFormat;
+pub use kind::{FormatKind, TypeSystem, ALL_KINDS};
+pub use rounding::RoundingMode;
+pub use ulp::{ulp_exponent, ulp_in};
+
+/// The paper's `binary8` format: 1 sign, 5 exponent and 2 mantissa bits.
+///
+/// Conceived to mirror the dynamic range of [`BINARY16`], so conversions
+/// between the two only affect precision and never saturate.
+pub const BINARY8: FpFormat = FpFormat::new_const(5, 2);
+
+/// IEEE 754 `binary16` (half precision): 1 sign, 5 exponent, 10 mantissa bits.
+pub const BINARY16: FpFormat = FpFormat::new_const(5, 10);
+
+/// The paper's `binary16alt` format: 1 sign, 8 exponent and 7 mantissa bits.
+///
+/// Shares the dynamic range of [`BINARY32`] (8 exponent bits), so
+/// `binary32 → binary16alt` conversions never saturate. Identical in layout
+/// to what later became known as `bfloat16`.
+pub const BINARY16ALT: FpFormat = FpFormat::new_const(8, 7);
+
+/// IEEE 754 `binary32` (single precision): 1 sign, 8 exponent, 23 mantissa bits.
+pub const BINARY32: FpFormat = FpFormat::new_const(8, 23);
+
+/// IEEE 754 `binary64` (double precision), the native backing format.
+///
+/// Available for completeness and for differential testing; the platform
+/// itself only deploys the four narrower formats.
+pub const BINARY64: FpFormat = FpFormat::new_const(11, 52);

@@ -1,0 +1,126 @@
+//! IEEE 754 rounding-direction attributes.
+
+use std::fmt;
+
+/// The five IEEE 754-2008 rounding-direction attributes.
+///
+/// The transprecision platform (like the PULPino FPU and the paper's
+/// DesignWare datapaths) uses [`RoundingMode::NearestEven`] everywhere;
+/// the remaining modes are provided for completeness and for testing the
+/// emulation back-ends against each other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RoundingMode {
+    /// `roundTiesToEven` — round to nearest, ties to even mantissa (default).
+    #[default]
+    NearestEven,
+    /// `roundTiesToAway` — round to nearest, ties away from zero.
+    NearestAway,
+    /// `roundTowardZero` — truncate.
+    TowardZero,
+    /// `roundTowardPositive` — toward +∞.
+    TowardPositive,
+    /// `roundTowardNegative` — toward −∞.
+    TowardNegative,
+}
+
+impl RoundingMode {
+    /// All five modes, for exhaustive test sweeps.
+    pub const ALL: [RoundingMode; 5] = [
+        RoundingMode::NearestEven,
+        RoundingMode::NearestAway,
+        RoundingMode::TowardZero,
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+    ];
+
+    /// Decide whether a truncated result must be incremented by one ulp.
+    ///
+    /// `lsb` is the least-significant kept bit, `guard` the first discarded
+    /// bit and `sticky` the OR of all remaining discarded bits; `negative`
+    /// is the sign of the value being rounded.
+    #[inline]
+    #[must_use]
+    pub fn round_up(self, negative: bool, lsb: bool, guard: bool, sticky: bool) -> bool {
+        match self {
+            RoundingMode::NearestEven => guard && (sticky || lsb),
+            RoundingMode::NearestAway => guard,
+            RoundingMode::TowardZero => false,
+            RoundingMode::TowardPositive => !negative && (guard || sticky),
+            RoundingMode::TowardNegative => negative && (guard || sticky),
+        }
+    }
+}
+
+impl fmt::Display for RoundingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoundingMode::NearestEven => "roundTiesToEven",
+            RoundingMode::NearestAway => "roundTiesToAway",
+            RoundingMode::TowardZero => "roundTowardZero",
+            RoundingMode::TowardPositive => "roundTowardPositive",
+            RoundingMode::TowardNegative => "roundTowardNegative",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_even_ties() {
+        let rne = RoundingMode::NearestEven;
+        // Exact halfway (guard set, sticky clear): round to even.
+        assert!(!rne.round_up(false, false, true, false)); // lsb even -> stay
+        assert!(rne.round_up(false, true, true, false)); // lsb odd -> up
+        // Above halfway always rounds up.
+        assert!(rne.round_up(false, false, true, true));
+        // Below halfway never rounds up.
+        assert!(!rne.round_up(false, true, false, true));
+    }
+
+    #[test]
+    fn nearest_away_ties() {
+        let rna = RoundingMode::NearestAway;
+        assert!(rna.round_up(false, false, true, false));
+        assert!(rna.round_up(true, false, true, false));
+        assert!(!rna.round_up(false, true, false, true));
+    }
+
+    #[test]
+    fn directed_modes_respect_sign() {
+        let up = RoundingMode::TowardPositive;
+        let down = RoundingMode::TowardNegative;
+        let zero = RoundingMode::TowardZero;
+        // Any inexactness rounds magnitude up only on the matching side.
+        assert!(up.round_up(false, false, false, true));
+        assert!(!up.round_up(true, false, false, true));
+        assert!(down.round_up(true, false, false, true));
+        assert!(!down.round_up(false, false, false, true));
+        assert!(!zero.round_up(false, true, true, true));
+        assert!(!zero.round_up(true, true, true, true));
+    }
+
+    #[test]
+    fn exact_values_never_round() {
+        for mode in RoundingMode::ALL {
+            for neg in [false, true] {
+                for lsb in [false, true] {
+                    assert!(!mode.round_up(neg, lsb, false, false));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_nearest_even() {
+        assert_eq!(RoundingMode::default(), RoundingMode::NearestEven);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RoundingMode::NearestEven.to_string(), "roundTiesToEven");
+        assert_eq!(RoundingMode::TowardZero.to_string(), "roundTowardZero");
+    }
+}

@@ -1,0 +1,130 @@
+//! Unit-in-the-last-place helpers.
+
+use crate::{FloatClass, FpFormat};
+
+/// Exponent of one ulp of `x` in format `fmt`: the weight `k` such that
+/// consecutive representable values around `x` differ by `2^k`.
+///
+/// For normal magnitudes this is `floor(log2 |x|) - m`; in the subnormal
+/// range the spacing is constant at `emin - m`.
+///
+/// Returns `None` for zero, infinities and NaN.
+#[must_use]
+pub fn ulp_exponent(fmt: FpFormat, x: f64) -> Option<i32> {
+    if x == 0.0 || !x.is_finite() {
+        return None;
+    }
+    let e = exponent_of(x.abs());
+    let e = e.max(fmt.emin()); // constant spacing below the normal range
+    Some(e - fmt.man_bits() as i32)
+}
+
+/// One ulp of `x` in format `fmt`, as an `f64`.
+///
+/// ```
+/// use tp_formats::{ulp_in, BINARY8, BINARY32};
+///
+/// assert_eq!(ulp_in(BINARY8, 1.0), Some(0.25)); // 2 mantissa bits
+/// assert_eq!(ulp_in(BINARY32, 1.0), Some(2f64.powi(-23)));
+/// assert_eq!(ulp_in(BINARY32, 0.0), None);
+/// ```
+#[must_use]
+pub fn ulp_in(fmt: FpFormat, x: f64) -> Option<f64> {
+    ulp_exponent(fmt, x).map(|k| 2f64.powi(k))
+}
+
+/// Floor of log2 of a positive finite `f64`.
+fn exponent_of(x: f64) -> i32 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let e = (bits >> 52) as i32;
+    if e == 0 {
+        // Subnormal: highest set mantissa bit determines the exponent.
+        let m = bits & ((1u64 << 52) - 1);
+        let hb = 63 - m.leading_zeros() as i32;
+        -1074 + hb
+    } else {
+        e - 1023
+    }
+}
+
+impl FpFormat {
+    /// Distance between `x` and the nearest representable value, measured in
+    /// ulps of this format. Exact representables yield `0.0`.
+    ///
+    /// Returns `None` when `x` is zero, non-finite, or rounds to a
+    /// non-finite value in this format.
+    #[must_use]
+    pub fn ulp_error(self, x: f64) -> Option<f64> {
+        let rounded = self.round_trip_f64(x, crate::RoundingMode::NearestEven);
+        if !rounded.is_finite() {
+            return None;
+        }
+        if FloatClass::of_bits(self, self.round_from_f64(x, crate::RoundingMode::NearestEven).bits)
+            == FloatClass::Zero
+            && x != 0.0
+        {
+            // Total underflow: error in ulps of the smallest subnormal.
+            return Some((x.abs() / self.min_subnormal()).abs());
+        }
+        let ulp = ulp_in(self, if rounded == 0.0 { x } else { rounded })?;
+        Some((x - rounded).abs() / ulp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BINARY16, BINARY32, BINARY8};
+
+    #[test]
+    fn ulp_at_powers_of_two() {
+        assert_eq!(ulp_in(BINARY8, 1.0), Some(0.25));
+        assert_eq!(ulp_in(BINARY8, 2.0), Some(0.5));
+        assert_eq!(ulp_in(BINARY8, 0.5), Some(0.125));
+        assert_eq!(ulp_in(BINARY16, 1.0), Some(2f64.powi(-10)));
+        assert_eq!(ulp_in(BINARY32, 1.0), Some(2f64.powi(-23)));
+    }
+
+    #[test]
+    fn ulp_constant_in_subnormal_range() {
+        let sub = BINARY8.min_subnormal();
+        assert_eq!(ulp_in(BINARY8, sub), Some(sub));
+        assert_eq!(ulp_in(BINARY8, sub * 3.0), Some(sub));
+        assert_eq!(ulp_in(BINARY8, BINARY8.min_normal()), Some(sub));
+    }
+
+    #[test]
+    fn ulp_none_for_specials() {
+        assert_eq!(ulp_in(BINARY8, 0.0), None);
+        assert_eq!(ulp_in(BINARY8, f64::INFINITY), None);
+        assert_eq!(ulp_in(BINARY8, f64::NAN), None);
+    }
+
+    #[test]
+    fn exponent_of_f64_subnormals() {
+        assert_eq!(super::exponent_of(f64::from_bits(1)), -1074);
+        assert_eq!(super::exponent_of(f64::MIN_POSITIVE), -1022);
+        assert_eq!(super::exponent_of(f64::MIN_POSITIVE / 2.0), -1023);
+    }
+
+    #[test]
+    fn rounding_error_at_most_half_ulp() {
+        // RNE never errs by more than half an ulp.
+        let xs = [0.3, 1.1, 7.7, 100.3, 0.007, 3.9e3, 1.0 / 3.0];
+        for fmt in [BINARY8, BINARY16, BINARY32] {
+            for &x in &xs {
+                for x in [x, -x] {
+                    let err = fmt.ulp_error(x).unwrap();
+                    assert!(err <= 0.5 + 1e-15, "{fmt} x={x}: {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_values_have_zero_error() {
+        assert_eq!(BINARY8.ulp_error(1.25), Some(0.0));
+        assert_eq!(BINARY32.ulp_error(0.5), Some(0.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for format encodings and rounding.
+
+use proptest::prelude::*;
+use tp_formats::{
+    ulp_in, FloatClass, FpFormat, RoundingMode, BINARY16, BINARY16ALT, BINARY32, BINARY8,
+};
+
+fn arb_format() -> impl Strategy<Value = FpFormat> {
+    (1u32..=11, 1u32..=52).prop_map(|(e, m)| FpFormat::new(e, m).expect("valid widths"))
+}
+
+fn named_format() -> impl Strategy<Value = FpFormat> {
+    prop_oneof![
+        Just(BINARY8),
+        Just(BINARY16),
+        Just(BINARY16ALT),
+        Just(BINARY32),
+    ]
+}
+
+proptest! {
+    /// Decoding any encoding and re-rounding it is the identity (for non-NaN).
+    #[test]
+    fn encode_decode_round_trip(fmt in arb_format(), raw in any::<u64>()) {
+        let bits = raw & fmt.bits_mask();
+        let v = fmt.decode_to_f64(bits);
+        prop_assume!(!v.is_nan());
+        for mode in RoundingMode::ALL {
+            let out = fmt.round_from_f64(v, mode);
+            prop_assert_eq!(out.bits, bits);
+            prop_assert!(!out.inexact);
+        }
+    }
+
+    /// binary32 rounding agrees with the hardware `f64 -> f32` cast (RNE).
+    #[test]
+    fn binary32_matches_hardware_cast(x in any::<f64>()) {
+        let ours = BINARY32.round_from_f64(x, RoundingMode::NearestEven).bits;
+        let hw = (x as f32).to_bits() as u64;
+        if (x as f32).is_nan() {
+            prop_assert_eq!(FloatClass::of_bits(BINARY32, ours), FloatClass::Nan);
+        } else {
+            prop_assert_eq!(ours, hw, "x = {:e}", x);
+        }
+    }
+
+    /// The rounded value is always within one ulp of the input, and within
+    /// half an ulp for the nearest modes.
+    #[test]
+    fn rounding_error_bounds(fmt in named_format(), x in -1e30f64..1e30) {
+        prop_assume!(x != 0.0);
+        for mode in RoundingMode::ALL {
+            let out = fmt.round_from_f64(x, mode);
+            let v = fmt.decode_to_f64(out.bits);
+            // Overflow saturates (to inf or max finite depending on mode);
+            // the local-error bound only applies inside the finite range.
+            if !v.is_finite() || out.overflow { continue; }
+            if v == 0.0 {
+                // Total underflow: |x| below (or at) half the smallest subnormal
+                // for nearest modes, below one ulp for directed modes.
+                prop_assert!(x.abs() <= fmt.min_subnormal());
+                continue;
+            }
+            let ulp = ulp_in(fmt, v).unwrap();
+            let err = (x - v).abs();
+            match mode {
+                RoundingMode::NearestEven | RoundingMode::NearestAway =>
+                    prop_assert!(err <= ulp / 2.0, "{} {} {:e}: err {:e} > ulp/2 {:e}", fmt, mode, x, err, ulp / 2.0),
+                _ => prop_assert!(err < ulp, "{} {} {:e}: err {:e} >= ulp {:e}", fmt, mode, x, err, ulp),
+            }
+        }
+    }
+
+    /// Rounding is monotone: x <= y implies round(x) <= round(y).
+    #[test]
+    fn rounding_is_monotone(fmt in named_format(), a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        for mode in RoundingMode::ALL {
+            let rx = fmt.decode_to_f64(fmt.round_from_f64(x, mode).bits);
+            let ry = fmt.decode_to_f64(fmt.round_from_f64(y, mode).bits);
+            prop_assert!(rx <= ry, "{} {}: round({:e})={:e} > round({:e})={:e}", fmt, mode, x, rx, y, ry);
+        }
+    }
+
+    /// Directed modes bracket the value: RTN(x) <= x <= RTP(x).
+    #[test]
+    fn directed_modes_bracket(fmt in named_format(), x in -1e30f64..1e30) {
+        let down = fmt.decode_to_f64(fmt.round_from_f64(x, RoundingMode::TowardNegative).bits);
+        let up = fmt.decode_to_f64(fmt.round_from_f64(x, RoundingMode::TowardPositive).bits);
+        prop_assert!(down <= x || down.is_infinite());
+        prop_assert!(up >= x || up.is_infinite());
+        // Toward-zero never increases the magnitude.
+        let rtz = fmt.decode_to_f64(fmt.round_from_f64(x, RoundingMode::TowardZero).bits);
+        prop_assert!(rtz.abs() <= x.abs());
+    }
+
+    /// Rounding into a wider (superset) format after rounding into a narrow
+    /// one is exact, and narrowing twice equals narrowing once (idempotence).
+    #[test]
+    fn narrowing_is_idempotent(fmt in named_format(), x in any::<f64>(), mode_idx in 0usize..5) {
+        let mode = RoundingMode::ALL[mode_idx];
+        let once = fmt.round_trip_f64(x, mode);
+        let twice = fmt.round_trip_f64(once, mode);
+        if once.is_nan() {
+            prop_assert!(twice.is_nan());
+        } else {
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// Widening through BINARY32 preserves every value of the narrow formats.
+    #[test]
+    fn widening_preserves_narrow_values(raw in any::<u64>()) {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT] {
+            let bits = raw & fmt.bits_mask();
+            let v = fmt.decode_to_f64(bits);
+            prop_assume!(!v.is_nan());
+            let wide = BINARY32.round_from_f64(v, RoundingMode::NearestEven);
+            prop_assert!(!wide.inexact, "{} value {:e} must embed exactly in binary32", fmt, v);
+        }
+    }
+
+    /// The fast bit-twiddling sanitization path agrees with the exact
+    /// round-trip on every input, for every named format.
+    #[test]
+    fn sanitize_matches_round_trip(x in any::<f64>()) {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            let fast = fmt.sanitize_f64(x);
+            let slow = fmt.round_trip_f64(x, RoundingMode::NearestEven);
+            if slow.is_nan() {
+                prop_assert!(fast.is_nan());
+            } else {
+                prop_assert_eq!(fast, slow, "{} x={:e}", fmt, x);
+            }
+        }
+    }
+
+    /// Same agreement on values drawn near the format boundaries, where the
+    /// slow path must engage.
+    #[test]
+    fn sanitize_matches_round_trip_near_edges(raw in any::<u64>(), scale in -3i32..3) {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            let v = fmt.decode_to_f64(raw & fmt.bits_mask());
+            prop_assume!(!v.is_nan());
+            let x = v * 2f64.powi(scale) * 1.001 + fmt.min_subnormal() * 0.3;
+            let fast = fmt.sanitize_f64(x);
+            let slow = fmt.round_trip_f64(x, RoundingMode::NearestEven);
+            if slow.is_nan() {
+                prop_assert!(fast.is_nan());
+            } else {
+                prop_assert_eq!(fast, slow, "{} x={:e}", fmt, x);
+            }
+        }
+    }
+
+    /// The sign is always preserved, including on underflow to zero and
+    /// overflow to infinity (nearest modes).
+    #[test]
+    fn sign_preservation(fmt in named_format(), x in any::<f64>()) {
+        prop_assume!(x.is_finite() && x != 0.0);
+        let out = fmt.round_from_f64(x, RoundingMode::NearestEven);
+        let (sign, _, _) = fmt.unpack(out.bits);
+        prop_assert_eq!(sign, x.is_sign_negative());
+    }
+}

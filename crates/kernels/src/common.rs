@@ -1,0 +1,67 @@
+//! Deterministic input generation shared by all kernels.
+//!
+//! Every kernel derives its inputs from a seeded PRNG so that tuning runs,
+//! statistics collection and platform evaluation all see identical data —
+//! the determinism requirement of the [`Tunable`](tp_tuner::Tunable)
+//! contract.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator for one `(kernel, input_set)` pair.
+#[must_use]
+pub fn rng_for(kernel: &str, input_set: usize) -> SmallRng {
+    // Stable, platform-independent seed derived from the kernel name.
+    let mut seed = 0xDEADBEEFCAFEBABEu64 ^ (input_set as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    for b in kernel.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` uniform values in `[lo, hi)`.
+#[must_use]
+pub fn uniform(rng: &mut SmallRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// `n` values from a rough normal distribution (sum of 4 uniforms),
+/// centred on `mean` with spread `sigma`.
+#[must_use]
+pub fn gaussian_ish(rng: &mut SmallRng, n: usize, mean: f64, sigma: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let s: f64 = (0..4).map(|_| rng.random_range(-1.0f64..1.0)).sum();
+            mean + sigma * s * 0.5
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_key() {
+        let a = uniform(&mut rng_for("X", 0), 8, 0.0, 1.0);
+        let b = uniform(&mut rng_for("X", 0), 8, 0.0, 1.0);
+        let c = uniform(&mut rng_for("X", 1), 8, 0.0, 1.0);
+        let d = uniform(&mut rng_for("Y", 0), 8, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let v = uniform(&mut rng_for("B", 2), 1000, -2.0, 3.0);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_ish_is_centred() {
+        let v = gaussian_ish(&mut rng_for("G", 0), 4000, 5.0, 1.0);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "{mean}");
+    }
+}

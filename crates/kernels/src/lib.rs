@@ -1,0 +1,78 @@
+//! The six FP-intensive benchmark applications of the transprecision
+//! platform paper (Section V-A), instrumented for precision tuning.
+//!
+//! Each kernel implements [`tp_tuner::Tunable`]: it declares its FP
+//! variables (the tunable "memory locations" of Fig. 4), runs under an
+//! arbitrary per-variable [`TypeConfig`](flexfloat::TypeConfig), and emits
+//! the outputs whose quality the tuner constrains. Vectorizable loops are
+//! tagged with [`VectorSection`](flexfloat::VectorSection) guards exactly
+//! where the paper's sources were manually tagged.
+//!
+//! | Kernel | Domain | Transprecision profile (paper) |
+//! |--------|--------|--------------------------------|
+//! | [`Jacobi`] | 2-D heat grid relaxation | no vectorization, near-baseline energy |
+//! | [`Knn`] | k-nearest neighbours | all-binary8, widest vectorization, −30 % energy |
+//! | [`Pca`] | principal component analysis | cast-dominated, above-baseline energy until manually vectorized |
+//! | [`Dwt`] | discrete wavelet transform | 16-bit friendly, ~50 % vector ops |
+//! | [`Svm`] | SVM prediction stage | ~60 % vector ops, −48 % memory accesses |
+//! | [`Conv`] | 5×5 convolution | almost fully vectorizable MACs |
+//!
+//! ```
+//! use flexfloat::TypeConfig;
+//! use tp_kernels::{all_kernels, Conv};
+//! use tp_tuner::Tunable;
+//!
+//! let conv = Conv::small();
+//! let out = conv.run(&TypeConfig::baseline(), 0);
+//! assert_eq!(out.len(), 36);
+//!
+//! // The whole suite, as trait objects, for harness loops:
+//! assert_eq!(all_kernels().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod conv;
+mod dwt;
+mod jacobi;
+mod knn;
+mod pca;
+mod svm;
+
+pub use common::{gaussian_ish, rng_for, uniform};
+pub use conv::{Conv, K};
+pub use dwt::Dwt;
+pub use jacobi::Jacobi;
+pub use knn::Knn;
+pub use pca::Pca;
+pub use svm::Svm;
+
+use tp_tuner::Tunable;
+
+/// The full benchmark suite at the paper's evaluation sizes.
+#[must_use]
+pub fn all_kernels() -> Vec<Box<dyn Tunable>> {
+    vec![
+        Box::new(Jacobi::paper()),
+        Box::new(Knn::paper()),
+        Box::new(Pca::paper()),
+        Box::new(Dwt::paper()),
+        Box::new(Svm::paper()),
+        Box::new(Conv::paper()),
+    ]
+}
+
+/// The full benchmark suite at miniature sizes, for fast tests.
+#[must_use]
+pub fn all_kernels_small() -> Vec<Box<dyn Tunable>> {
+    vec![
+        Box::new(Jacobi::small()),
+        Box::new(Knn::small()),
+        Box::new(Pca::small()),
+        Box::new(Dwt::small()),
+        Box::new(Svm::small()),
+        Box::new(Conv::small()),
+    ]
+}

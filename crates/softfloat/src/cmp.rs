@@ -1,0 +1,189 @@
+//! IEEE 754 quiet comparison predicates.
+
+use tp_formats::{FloatClass, FpFormat};
+
+/// Result of an IEEE comparison: the usual three orderings plus *unordered*
+/// (at least one operand is NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOrdering {
+    /// `a < b`.
+    Less,
+    /// `a == b` (including `-0 == +0`).
+    Equal,
+    /// `a > b`.
+    Greater,
+    /// At least one operand is NaN.
+    Unordered,
+}
+
+/// Compares two encodings of `fmt` (IEEE `compareQuiet*` semantics).
+#[must_use]
+pub fn compare(fmt: FpFormat, a: u64, b: u64) -> FpOrdering {
+    if FloatClass::of_bits(fmt, a) == FloatClass::Nan || FloatClass::of_bits(fmt, b) == FloatClass::Nan
+    {
+        return FpOrdering::Unordered;
+    }
+    let ka = order_key(fmt, a);
+    let kb = order_key(fmt, b);
+    match ka.cmp(&kb) {
+        std::cmp::Ordering::Less => FpOrdering::Less,
+        std::cmp::Ordering::Equal => FpOrdering::Equal,
+        std::cmp::Ordering::Greater => FpOrdering::Greater,
+    }
+}
+
+/// Maps a non-NaN encoding to a signed key that orders like the real line
+/// (the classic sign-magnitude to two's-complement trick); both zeros map
+/// to the same key.
+fn order_key(fmt: FpFormat, bits: u64) -> i64 {
+    let bits = bits & fmt.bits_mask();
+    let sign = (bits >> fmt.sign_shift()) & 1 == 1;
+    let mag = (bits & (fmt.bits_mask() >> 1)) as i64;
+    if sign {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// `a == b` (quiet; NaN compares unequal to everything, `-0 == +0`).
+#[must_use]
+pub fn eq(fmt: FpFormat, a: u64, b: u64) -> bool {
+    compare(fmt, a, b) == FpOrdering::Equal
+}
+
+/// `a < b` (quiet; false on unordered).
+#[must_use]
+pub fn lt(fmt: FpFormat, a: u64, b: u64) -> bool {
+    compare(fmt, a, b) == FpOrdering::Less
+}
+
+/// `a <= b` (quiet; false on unordered).
+#[must_use]
+pub fn le(fmt: FpFormat, a: u64, b: u64) -> bool {
+    matches!(compare(fmt, a, b), FpOrdering::Less | FpOrdering::Equal)
+}
+
+/// Minimum of two encodings (RISC-V `fmin` semantics: a number beats NaN,
+/// `-0 < +0`; two NaNs yield the canonical NaN).
+#[must_use]
+pub fn min(fmt: FpFormat, a: u64, b: u64) -> u64 {
+    min_max(fmt, a, b, true)
+}
+
+/// Maximum of two encodings (RISC-V `fmax` semantics).
+#[must_use]
+pub fn max(fmt: FpFormat, a: u64, b: u64) -> u64 {
+    min_max(fmt, a, b, false)
+}
+
+fn min_max(fmt: FpFormat, a: u64, b: u64, want_min: bool) -> u64 {
+    let a_nan = FloatClass::of_bits(fmt, a) == FloatClass::Nan;
+    let b_nan = FloatClass::of_bits(fmt, b) == FloatClass::Nan;
+    match (a_nan, b_nan) {
+        (true, true) => fmt.quiet_nan_bits(),
+        (true, false) => b & fmt.bits_mask(),
+        (false, true) => a & fmt.bits_mask(),
+        (false, false) => {
+            // Distinguish -0 from +0 via the raw key ordering.
+            let ka = order_key_zero_aware(fmt, a);
+            let kb = order_key_zero_aware(fmt, b);
+            if (ka <= kb) == want_min {
+                a & fmt.bits_mask()
+            } else {
+                b & fmt.bits_mask()
+            }
+        }
+    }
+}
+
+/// Like [`order_key`] but orders `-0` strictly below `+0` (fmin/fmax rule).
+fn order_key_zero_aware(fmt: FpFormat, bits: u64) -> i64 {
+    let bits = bits & fmt.bits_mask();
+    let sign = (bits >> fmt.sign_shift()) & 1 == 1;
+    let mag = (bits & (fmt.bits_mask() >> 1)) as i64;
+    if sign {
+        -mag - 1
+    } else {
+        mag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_formats::{RoundingMode, BINARY16, BINARY32, BINARY8};
+
+    fn b32(x: f32) -> u64 {
+        x.to_bits() as u64
+    }
+
+    #[test]
+    fn compare_matches_native_f32() {
+        let vals = [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1e-45,
+            -1e-45, 3.4e38,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(eq(BINARY32, b32(a), b32(b)), a == b, "{a} == {b}");
+                assert_eq!(lt(BINARY32, b32(a), b32(b)), a < b, "{a} < {b}");
+                assert_eq!(le(BINARY32, b32(a), b32(b)), a <= b, "{a} <= {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_compare_equal() {
+        for fmt in [BINARY8, BINARY16, BINARY32] {
+            assert!(eq(fmt, fmt.zero_bits(false), fmt.zero_bits(true)));
+            assert!(!lt(fmt, fmt.zero_bits(true), fmt.zero_bits(false)));
+        }
+    }
+
+    #[test]
+    fn nan_is_unordered() {
+        let n = BINARY8.quiet_nan_bits();
+        let one = BINARY8.round_from_f64(1.0, RoundingMode::NearestEven).bits;
+        assert_eq!(compare(BINARY8, n, one), FpOrdering::Unordered);
+        assert_eq!(compare(BINARY8, n, n), FpOrdering::Unordered);
+        assert!(!eq(BINARY8, n, n));
+        assert!(!lt(BINARY8, n, one));
+        assert!(!le(BINARY8, n, one));
+    }
+
+    #[test]
+    fn binary8_ordering_exhaustive() {
+        // Comparison agrees with decoded f64 ordering on all 65536 pairs.
+        for a in 0..=0xFFu64 {
+            for b in 0..=0xFFu64 {
+                let va = BINARY8.decode_to_f64(a);
+                let vb = BINARY8.decode_to_f64(b);
+                let got = compare(BINARY8, a, b);
+                let want = match va.partial_cmp(&vb) {
+                    None => FpOrdering::Unordered,
+                    Some(std::cmp::Ordering::Less) => FpOrdering::Less,
+                    Some(std::cmp::Ordering::Equal) => FpOrdering::Equal,
+                    Some(std::cmp::Ordering::Greater) => FpOrdering::Greater,
+                };
+                assert_eq!(got, want, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_riscv_semantics() {
+        let one = b32(1.0);
+        let nan = BINARY32.quiet_nan_bits();
+        // A number beats NaN.
+        assert_eq!(min(BINARY32, one, nan), one);
+        assert_eq!(max(BINARY32, nan, one), one);
+        // Two NaNs -> canonical NaN.
+        assert_eq!(min(BINARY32, nan, nan), BINARY32.quiet_nan_bits());
+        // -0 < +0 for fmin/fmax.
+        assert_eq!(min(BINARY32, b32(0.0), b32(-0.0)), b32(-0.0));
+        assert_eq!(max(BINARY32, b32(0.0), b32(-0.0)), b32(0.0));
+        assert_eq!(min(BINARY32, b32(-3.0), b32(2.0)), b32(-3.0));
+        assert_eq!(max(BINARY32, b32(-3.0), b32(2.0)), b32(2.0));
+    }
+}

@@ -1,0 +1,350 @@
+//! IEEE 754 exception flags and flag-reporting operation variants.
+//!
+//! Hardware FPUs (the paper's unit included — it inherits RISC-V `fflags`
+//! semantics from the host core) accumulate five sticky status flags. The
+//! plain [`ops`](crate::ops) functions discard them; the `*_flagged`
+//! variants here return them, and [`FlagSet`] accumulates like the `fcsr`
+//! register.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use tp_formats::{FloatClass, FpFormat, RoundingMode};
+
+/// The five IEEE 754 exception flags (RISC-V `fflags` layout: NV DZ OF UF NX).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FlagSet {
+    /// Invalid operation (NV): 0·∞, ∞−∞, sqrt of a negative, …
+    pub invalid: bool,
+    /// Division by zero (DZ).
+    pub div_by_zero: bool,
+    /// Overflow (OF): the rounded result exceeded the largest finite value.
+    pub overflow: bool,
+    /// Underflow (UF): the result is tiny and inexact.
+    pub underflow: bool,
+    /// Inexact (NX): the result was rounded.
+    pub inexact: bool,
+}
+
+impl FlagSet {
+    /// No flags raised.
+    pub const NONE: FlagSet = FlagSet {
+        invalid: false,
+        div_by_zero: false,
+        overflow: false,
+        underflow: false,
+        inexact: false,
+    };
+
+    /// `true` if no flag is raised.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// RISC-V `fflags` bit encoding (NX=bit0 … NV=bit4).
+    #[must_use]
+    pub fn to_bits(self) -> u32 {
+        (self.inexact as u32)
+            | (self.underflow as u32) << 1
+            | (self.overflow as u32) << 2
+            | (self.div_by_zero as u32) << 3
+            | (self.invalid as u32) << 4
+    }
+
+    /// Decodes a RISC-V `fflags` value.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        FlagSet {
+            inexact: bits & 1 != 0,
+            underflow: bits & 2 != 0,
+            overflow: bits & 4 != 0,
+            div_by_zero: bits & 8 != 0,
+            invalid: bits & 16 != 0,
+        }
+    }
+}
+
+impl BitOr for FlagSet {
+    type Output = FlagSet;
+    fn bitor(self, rhs: Self) -> Self {
+        FlagSet::from_bits(self.to_bits() | rhs.to_bits())
+    }
+}
+
+impl BitOrAssign for FlagSet {
+    fn bitor_assign(&mut self, rhs: Self) {
+        *self = *self | rhs;
+    }
+}
+
+impl fmt::Display for FlagSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (set, name) in [
+            (self.invalid, "NV"),
+            (self.div_by_zero, "DZ"),
+            (self.overflow, "OF"),
+            (self.underflow, "UF"),
+            (self.inexact, "NX"),
+        ] {
+            if set {
+                if any {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Derives the flags of an already-computed operation by comparing the
+/// exact (`f64`-wide) result against the packed one.
+///
+/// Valid for the narrow formats (`2m+2 <= 52`), where the `f64` computation
+/// of a single +,−,×,÷ is exact or at worst correctly rounded with the same
+/// flag outcome.
+fn flags_from_exact(fmt: FpFormat, exact: f64, packed: u64, invalid: bool, dz: bool) -> FlagSet {
+    let mut flags = FlagSet { invalid, div_by_zero: dz, ..FlagSet::NONE };
+    if invalid {
+        return flags;
+    }
+    let got = fmt.decode_to_f64(packed);
+    if exact.is_infinite() {
+        // Exact infinity (e.g. inf + x): no rounding flags.
+        return flags;
+    }
+    let outcome = fmt.round_from_f64(exact, RoundingMode::NearestEven);
+    flags.inexact = outcome.inexact;
+    flags.overflow = outcome.overflow;
+    flags.underflow = outcome.underflow;
+    debug_assert!(
+        got.is_nan() || got == fmt.decode_to_f64(outcome.bits),
+        "{fmt}: packed {got:e} disagrees with exact-rounded"
+    );
+    flags
+}
+
+fn is_nan(fmt: FpFormat, bits: u64) -> bool {
+    FloatClass::of_bits(fmt, bits) == FloatClass::Nan
+}
+
+/// Addition with exception flags.
+///
+/// Restricted to formats with `2·m + 2 <= 52` (all four platform formats),
+/// where flag derivation via the exact `f64` sum is sound.
+///
+/// # Panics
+///
+/// Panics if the format's mantissa is wider than 25 bits.
+pub fn add_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
+    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    let bits = crate::arith::add(fmt, a, b, mode);
+    if is_nan(fmt, a) || is_nan(fmt, b) {
+        return (bits, FlagSet::NONE); // quiet NaN propagation raises nothing
+    }
+    let (va, vb) = (fmt.decode_to_f64(a), fmt.decode_to_f64(b));
+    let invalid = va.is_infinite() && vb.is_infinite() && va.signum() != vb.signum();
+    let exact = va + vb;
+    let flags = if mode == RoundingMode::NearestEven {
+        flags_from_exact(fmt, exact, bits, invalid, false)
+    } else {
+        // Non-RNE: recompute the flag-relevant outcome under `mode`.
+        let outcome = fmt.round_from_f64(exact, mode);
+        FlagSet {
+            invalid,
+            div_by_zero: false,
+            overflow: outcome.overflow && !invalid && exact.is_finite(),
+            underflow: outcome.underflow && !invalid,
+            inexact: outcome.inexact && !invalid,
+        }
+    };
+    (bits, flags)
+}
+
+/// Multiplication with exception flags (same format restriction as
+/// [`add_flagged`]).
+///
+/// # Panics
+///
+/// Panics if the format's mantissa is wider than 25 bits.
+pub fn mul_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
+    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    let bits = crate::arith::mul(fmt, a, b, mode);
+    if is_nan(fmt, a) || is_nan(fmt, b) {
+        return (bits, FlagSet::NONE);
+    }
+    let (va, vb) = (fmt.decode_to_f64(a), fmt.decode_to_f64(b));
+    let invalid = (va.is_infinite() && vb == 0.0) || (va == 0.0 && vb.is_infinite());
+    let exact = va * vb;
+    let outcome = fmt.round_from_f64(exact, mode);
+    (
+        bits,
+        FlagSet {
+            invalid,
+            div_by_zero: false,
+            overflow: !invalid && exact.is_finite() && outcome.overflow,
+            underflow: !invalid && outcome.underflow,
+            inexact: !invalid && outcome.inexact,
+        },
+    )
+}
+
+/// Division with exception flags (same format restriction as
+/// [`add_flagged`]).
+///
+/// # Panics
+///
+/// Panics if the format's mantissa is wider than 25 bits.
+pub fn div_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
+    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    let bits = crate::arith::div(fmt, a, b, mode);
+    if is_nan(fmt, a) || is_nan(fmt, b) {
+        return (bits, FlagSet::NONE);
+    }
+    let (va, vb) = (fmt.decode_to_f64(a), fmt.decode_to_f64(b));
+    let invalid =
+        (va == 0.0 && vb == 0.0) || (va.is_infinite() && vb.is_infinite());
+    let div_by_zero = !invalid && vb == 0.0 && va.is_finite();
+    if invalid || div_by_zero {
+        return (bits, FlagSet { invalid, div_by_zero, ..FlagSet::NONE });
+    }
+    let exact = va / vb;
+    let outcome = fmt.round_from_f64(exact, mode);
+    (
+        bits,
+        FlagSet {
+            invalid: false,
+            div_by_zero: false,
+            overflow: exact.is_finite() && outcome.overflow,
+            underflow: outcome.underflow,
+            inexact: outcome.inexact,
+        },
+    )
+}
+
+/// Square root with exception flags.
+///
+/// # Panics
+///
+/// Panics if the format's mantissa is wider than 25 bits.
+pub fn sqrt_flagged(fmt: FpFormat, a: u64, mode: RoundingMode) -> (u64, FlagSet) {
+    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    let bits = crate::advanced::sqrt(fmt, a, mode);
+    if is_nan(fmt, a) {
+        return (bits, FlagSet::NONE);
+    }
+    let va = fmt.decode_to_f64(a);
+    if va < 0.0 && va != 0.0 {
+        return (bits, FlagSet { invalid: true, ..FlagSet::NONE });
+    }
+    // sqrt never overflows or underflows; only NX can be raised. The f64
+    // sqrt is correctly rounded and 2m+2 <= 52 makes the double rounding
+    // exact, so its inexactness at the narrow grid equals the flag.
+    let outcome = fmt.round_from_f64(va.sqrt(), mode);
+    (bits, FlagSet { inexact: outcome.inexact, ..FlagSet::NONE })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_formats::{BINARY16, BINARY8};
+
+    const RNE: RoundingMode = RoundingMode::NearestEven;
+
+    fn enc(fmt: FpFormat, x: f64) -> u64 {
+        fmt.round_from_f64(x, RNE).bits
+    }
+
+    #[test]
+    fn exact_ops_raise_nothing() {
+        let (bits, flags) = add_flagged(BINARY8, enc(BINARY8, 1.0), enc(BINARY8, 0.5), RNE);
+        assert_eq!(BINARY8.decode_to_f64(bits), 1.5);
+        assert!(flags.is_empty(), "{flags}");
+    }
+
+    #[test]
+    fn inexact_is_raised() {
+        // 1.75 * 1.75 = 3.0625 -> rounds in binary8.
+        let a = enc(BINARY8, 1.75);
+        let (_, flags) = mul_flagged(BINARY8, a, a, RNE);
+        assert!(flags.inexact && !flags.overflow && !flags.underflow, "{flags}");
+    }
+
+    #[test]
+    fn overflow_raises_of_and_nx() {
+        let big = enc(BINARY8, 57344.0);
+        let (bits, flags) = add_flagged(BINARY8, big, big, RNE);
+        assert!(BINARY8.decode_to_f64(bits).is_infinite());
+        assert!(flags.overflow && flags.inexact, "{flags}");
+    }
+
+    #[test]
+    fn underflow_raises_uf_and_nx() {
+        let tiny = enc(BINARY8, 2f64.powi(-16));
+        let half = enc(BINARY8, 0.5);
+        let (bits, flags) = mul_flagged(BINARY8, tiny, half, RNE);
+        assert_eq!(BINARY8.decode_to_f64(bits), 0.0);
+        assert!(flags.underflow && flags.inexact, "{flags}");
+    }
+
+    #[test]
+    fn invalid_operations() {
+        let inf = BINARY16.inf_bits(false);
+        let ninf = BINARY16.inf_bits(true);
+        let zero = BINARY16.zero_bits(false);
+        assert!(add_flagged(BINARY16, inf, ninf, RNE).1.invalid);
+        assert!(mul_flagged(BINARY16, inf, zero, RNE).1.invalid);
+        assert!(div_flagged(BINARY16, zero, zero, RNE).1.invalid);
+        assert!(div_flagged(BINARY16, inf, ninf, RNE).1.invalid);
+        assert!(sqrt_flagged(BINARY16, enc(BINARY16, -1.0), RNE).1.invalid);
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let one = enc(BINARY16, 1.0);
+        let zero = BINARY16.zero_bits(false);
+        let (bits, flags) = div_flagged(BINARY16, one, zero, RNE);
+        assert!(BINARY16.decode_to_f64(bits).is_infinite());
+        assert!(flags.div_by_zero && !flags.invalid && !flags.inexact, "{flags}");
+    }
+
+    #[test]
+    fn quiet_nan_propagation_is_silent() {
+        let nan = BINARY8.quiet_nan_bits();
+        let one = enc(BINARY8, 1.0);
+        assert!(add_flagged(BINARY8, nan, one, RNE).1.is_empty());
+        assert!(div_flagged(BINARY8, nan, one, RNE).1.is_empty());
+    }
+
+    #[test]
+    fn fflags_encoding_round_trips() {
+        for bits in 0..32u32 {
+            assert_eq!(FlagSet::from_bits(bits).to_bits(), bits);
+        }
+        let f = FlagSet { invalid: true, inexact: true, ..FlagSet::NONE };
+        assert_eq!(f.to_bits(), 0b10001);
+        assert_eq!(f.to_string(), "NV|NX");
+        assert_eq!(FlagSet::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn flags_accumulate_like_fcsr() {
+        let mut fcsr = FlagSet::NONE;
+        fcsr |= FlagSet { inexact: true, ..FlagSet::NONE };
+        fcsr |= FlagSet { overflow: true, ..FlagSet::NONE };
+        assert!(fcsr.inexact && fcsr.overflow && !fcsr.invalid);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow formats only")]
+    fn wide_format_is_rejected() {
+        let wide = FpFormat::new(11, 40).unwrap();
+        let _ = add_flagged(wide, 0, 0, RNE);
+    }
+}

@@ -1,0 +1,139 @@
+//! Output-quality metrics.
+//!
+//! The fpPrecisionTuning toolchain expresses the precision requirement as a
+//! signal-to-quantization-noise constraint on the program outputs. The
+//! paper's experiments use thresholds written `SQNR = 10⁻¹, 10⁻², 10⁻³`;
+//! we interpret those as bounds on the **relative RMS error** of the output
+//! vector (the reading under which the reported per-application behaviour —
+//! binary8 surviving at 10⁻¹, almost nothing below binary16 at 10⁻³ —
+//! reproduces). Classic SQNR in decibels is also provided.
+
+/// Relative root-mean-square error of `actual` against `reference`:
+/// `sqrt(Σ(r−a)² / Σr²)`.
+///
+/// Returns `f64::INFINITY` when any element of `actual` is non-finite while
+/// its reference is finite (saturation/overflow must always fail a quality
+/// check), and `0.0` for two all-zero vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn relative_rms_error(reference: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "output length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&r, &a) in reference.iter().zip(actual) {
+        if !a.is_finite() && r.is_finite() {
+            return f64::INFINITY;
+        }
+        if !r.is_finite() {
+            continue; // reference overflowed too; exclude from the metric
+        }
+        let d = r - a;
+        num += d * d;
+        den += r * r;
+    }
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Signal-to-quantization-noise ratio in decibels:
+/// `10·log10(Σr² / Σ(r−a)²)`. Infinite for an exact match.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sqnr_db(reference: &[f64], actual: &[f64]) -> f64 {
+    let rel = relative_rms_error(reference, actual);
+    if rel == 0.0 {
+        f64::INFINITY
+    } else {
+        -20.0 * rel.log10()
+    }
+}
+
+/// Largest per-element relative error, with absolute error used below
+/// `tiny` to avoid division blow-ups near zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn max_relative_error(reference: &[f64], actual: &[f64], tiny: f64) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "output length mismatch");
+    let mut worst = 0.0f64;
+    for (&r, &a) in reference.iter().zip(actual) {
+        if !a.is_finite() && r.is_finite() {
+            return f64::INFINITY;
+        }
+        if !r.is_finite() {
+            continue;
+        }
+        let err = if r.abs() > tiny { ((r - a) / r).abs() } else { (r - a).abs() };
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_zero_error() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(relative_rms_error(&v, &v), 0.0);
+        assert_eq!(sqnr_db(&v, &v), f64::INFINITY);
+        assert_eq!(max_relative_error(&v, &v, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn uniform_relative_error() {
+        // actual = reference * 1.01 everywhere -> relative RMS error = 0.01.
+        let r = [1.0, -2.0, 4.0, 100.0];
+        let a: Vec<f64> = r.iter().map(|x| x * 1.01).collect();
+        let e = relative_rms_error(&r, &a);
+        assert!((e - 0.01).abs() < 1e-12, "{e}");
+        // SQNR = -20 log10(0.01) = 40 dB.
+        assert!((sqnr_db(&r, &a) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_actual_fails_hard() {
+        let r = [1.0, 2.0];
+        assert_eq!(relative_rms_error(&r, &[1.0, f64::INFINITY]), f64::INFINITY);
+        assert_eq!(relative_rms_error(&r, &[f64::NAN, 2.0]), f64::INFINITY);
+        assert_eq!(max_relative_error(&r, &[1.0, f64::NAN], 1e-12), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_reference_handled() {
+        assert_eq!(relative_rms_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(relative_rms_error(&[0.0], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn overflowed_reference_elements_are_excluded() {
+        let r = [f64::INFINITY, 2.0];
+        let a = [f64::INFINITY, 2.02];
+        assert!((relative_rms_error(&r, &a) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = relative_rms_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_relative_uses_absolute_near_zero() {
+        let r = [1e-30, 1.0];
+        let a = [2e-30, 1.0];
+        // Near-zero element judged by absolute error (1e-30), not relative (1.0).
+        assert!(max_relative_error(&r, &a, 1e-12) < 1e-20);
+    }
+}

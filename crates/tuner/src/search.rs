@@ -1,0 +1,456 @@
+//! The DistributedSearch-style heuristic precision search.
+//!
+//! Reimplements the contract of fpPrecisionTuning's DistributedSearch tool
+//! (paper Section II): given a target program, a golden output and a quality
+//! threshold, find for each program variable the minimum number of precision
+//! bits that still meets the threshold — first per input set, then joined
+//! across input sets by a statistical refinement phase.
+
+use flexfloat::{TypeConfig, VarSpec};
+use tp_formats::{FpFormat, TypeSystem};
+
+use crate::metrics::relative_rms_error;
+use crate::tunable::Tunable;
+
+/// Parameters of a tuning run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Maximum relative RMS output error (the paper's `SQNR = 10⁻ᵏ`
+    /// thresholds).
+    pub threshold: f64,
+    /// Number of input sets for the statistical refinement phase.
+    pub input_sets: usize,
+    /// Type system whose dynamic-range hypotheses drive the exponent choice
+    /// per precision interval (Section III-A).
+    pub type_system: TypeSystem,
+    /// Upper precision bound; 24 is binary32's significand width.
+    pub max_precision: u32,
+    /// Number of descent passes over the variable list per input set
+    /// (later passes exploit interactions unlocked by earlier ones).
+    pub passes: usize,
+}
+
+impl SearchParams {
+    /// Parameters used throughout the paper's evaluation: the given error
+    /// threshold, three input sets, the V2 type system.
+    #[must_use]
+    pub fn paper(threshold: f64) -> Self {
+        SearchParams {
+            threshold,
+            input_sets: 3,
+            type_system: TypeSystem::V2,
+            max_precision: 24,
+            passes: 2,
+        }
+    }
+}
+
+/// Result of tuning a single variable.
+#[derive(Debug, Clone)]
+pub struct TunedVar {
+    /// The variable, with its element count.
+    pub spec: VarSpec,
+    /// Minimum significand bits (implicit bit included) meeting the
+    /// threshold; between 2 and `max_precision`.
+    pub precision_bits: u32,
+    /// `true` if the variable needed the 8-bit-exponent dynamic range even
+    /// though its precision interval maps to a 5-bit exponent (saturation
+    /// was observed otherwise).
+    pub needs_wide_range: bool,
+}
+
+impl TunedVar {
+    /// The evaluation format this tuning implies under `ts`.
+    #[must_use]
+    pub fn eval_format(&self, ts: TypeSystem) -> FpFormat {
+        eval_format(ts, self.precision_bits, self.needs_wide_range)
+    }
+}
+
+/// Outcome of a full tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Application name.
+    pub app: String,
+    /// Threshold the outcome satisfies (on every input set).
+    pub threshold: f64,
+    /// Type system used for the dynamic-range hypotheses.
+    pub type_system: TypeSystem,
+    /// Per-variable results, in the application's declaration order.
+    pub vars: Vec<TunedVar>,
+    /// Number of program evaluations spent.
+    pub evaluations: u64,
+}
+
+impl TuningOutcome {
+    /// The per-variable evaluation configuration (tuned `(e, m)` formats,
+    /// before mapping onto the named storage formats).
+    #[must_use]
+    pub fn eval_config(&self) -> TypeConfig {
+        let mut cfg = TypeConfig::baseline();
+        for v in &self.vars {
+            cfg.set(v.spec.name, v.eval_format(self.type_system));
+        }
+        cfg
+    }
+
+    /// Looks up one variable's result by name.
+    #[must_use]
+    pub fn var(&self, name: &str) -> Option<&TunedVar> {
+        self.vars.iter().find(|v| v.spec.name == name)
+    }
+}
+
+/// The exponent-width hypothesis per precision interval (Section III-A).
+///
+/// Precisions above 11 bits always evaluate with binary32's 8-bit exponent.
+/// Under V1 the 16-bit hypothesis is binary16 (5-bit exponent); under V2 the
+/// `(3, 8]` interval gets binary16alt's 8-bit exponent. A variable flagged
+/// wide-range is always evaluated with an 8-bit exponent.
+#[must_use]
+pub fn eval_format(ts: TypeSystem, precision_bits: u32, wide: bool) -> FpFormat {
+    let p = precision_bits.clamp(2, 24);
+    let m = p - 1;
+    let e = if wide || p > 11 {
+        8
+    } else {
+        match ts {
+            TypeSystem::V1 => 5,
+            TypeSystem::V2 => {
+                if p <= 3 {
+                    5
+                } else if p <= 8 {
+                    8
+                } else {
+                    5
+                }
+            }
+        }
+    };
+    FpFormat::new(e, m).expect("validated widths")
+}
+
+/// Internal mutable search state for one application.
+struct SearchState<'a> {
+    app: &'a dyn Tunable,
+    params: SearchParams,
+    vars: Vec<VarSpec>,
+    precision: Vec<u32>,
+    wide: Vec<bool>,
+    evaluations: u64,
+}
+
+impl<'a> SearchState<'a> {
+    fn config(&self) -> TypeConfig {
+        let mut cfg = TypeConfig::baseline();
+        for (i, v) in self.vars.iter().enumerate() {
+            cfg.set(v.name, eval_format(self.params.type_system, self.precision[i], self.wide[i]));
+        }
+        cfg
+    }
+
+    fn passes(&mut self, reference: &[f64], set: usize) -> bool {
+        self.evaluations += 1;
+        let out = self.app.run(&self.config(), set);
+        relative_rms_error(reference, &out) <= self.params.threshold
+    }
+
+    /// Minimal passing precision for variable `i` with all others fixed.
+    /// Returns the chosen `(precision, wide)`; leaves the state updated.
+    fn descend_var(&mut self, i: usize, reference: &[f64], set: usize) {
+        let original = (self.precision[i], self.wide[i]);
+
+        // Predicate: does precision p work for this variable (trying the
+        // narrow-exponent hypothesis first, then the wide one)?
+        let try_p = |state: &mut Self, p: u32| -> Option<bool> {
+            state.precision[i] = p;
+            state.wide[i] = false;
+            if state.passes(reference, set) {
+                return Some(false);
+            }
+            // Only retry with the wide exponent when the hypothesis was
+            // narrow (otherwise the two configurations are identical).
+            if eval_format(state.params.type_system, p, false).exp_bits() < 8 {
+                state.wide[i] = true;
+                if state.passes(reference, set) {
+                    return Some(true);
+                }
+            }
+            None
+        };
+
+        // Binary search for the smallest passing precision in [2, current].
+        let (mut lo, mut hi) = (2u32, original.0);
+        let mut best: Option<(u32, bool)> = Some(original);
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            match try_p(self, mid) {
+                Some(wide) => {
+                    best = Some((mid, wide));
+                    if mid == 2 {
+                        break;
+                    }
+                    hi = mid - 1;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        let (p, w) = best.expect("original precision always passes");
+        self.precision[i] = p;
+        self.wide[i] = w;
+    }
+
+    /// Repairs a failing configuration by raising precisions round-robin,
+    /// lowest first, until the set passes again.
+    fn repair(&mut self, reference: &[f64], set: usize) {
+        while !self.passes(reference, set) {
+            // Raise the currently lowest-precision raisable variable.
+            let candidate = (0..self.vars.len())
+                .filter(|&i| self.precision[i] < self.params.max_precision)
+                .min_by_key(|&i| self.precision[i]);
+            match candidate {
+                Some(i) => self.precision[i] = (self.precision[i] + 2).min(self.params.max_precision),
+                None => break, // everything is at maximum already
+            }
+        }
+    }
+}
+
+/// Runs the full two-phase search for `app` under `params`.
+///
+/// Phase 1 tunes each input set independently: variables are visited in
+/// descending element count (largest memory impact first) and lowered by
+/// binary search, for [`SearchParams::passes`] rounds, with a repair step
+/// whenever interactions break the full-configuration check. Phase 2 joins
+/// the per-set bindings (maximum precision, OR of the wide-range flags) and
+/// re-validates on every set, repairing if needed.
+#[must_use]
+pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutcome {
+    let vars = app.variables();
+    assert!(!vars.is_empty(), "tunable program declares no variables");
+    assert!(params.input_sets >= 1, "need at least one input set");
+    assert!(params.threshold > 0.0, "threshold must be positive");
+
+    // Visit order: biggest arrays first.
+    let mut order: Vec<usize> = (0..vars.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(vars[i].elements));
+
+    let mut joined_p = vec![2u32; vars.len()];
+    let mut joined_wide = vec![false; vars.len()];
+    let mut evaluations = 0u64;
+
+    for set in 0..params.input_sets {
+        let reference = app.reference(set);
+        let mut st = SearchState {
+            app,
+            params,
+            vars: vars.clone(),
+            precision: vec![params.max_precision; vars.len()],
+            wide: vec![false; vars.len()],
+            evaluations: 0,
+        };
+        for _ in 0..params.passes {
+            for &i in &order {
+                st.descend_var(i, &reference, set);
+            }
+            st.repair(&reference, set);
+        }
+        debug_assert!(st.passes(&reference, set));
+        for i in 0..vars.len() {
+            joined_p[i] = joined_p[i].max(st.precision[i]);
+            joined_wide[i] = joined_wide[i] || st.wide[i];
+        }
+        evaluations += st.evaluations;
+    }
+
+    // Phase 2: validate the joined binding on every set; repair when the
+    // max-join is not sufficient due to cross-variable interactions.
+    // Because quality is not perfectly monotone in precision, repairing one
+    // set can nudge another back over the threshold, so iterate until a
+    // full pass over all sets is clean (termination is guaranteed: repairs
+    // only raise precisions, and the all-maximum configuration reproduces
+    // the reference exactly).
+    let mut st = SearchState {
+        app,
+        params,
+        vars: vars.clone(),
+        precision: joined_p,
+        wide: joined_wide,
+        evaluations: 0,
+    };
+    loop {
+        let mut clean = true;
+        for set in 0..params.input_sets {
+            let reference = app.reference(set);
+            if !st.passes(&reference, set) {
+                clean = false;
+                st.repair(&reference, set);
+            }
+        }
+        if clean || st.precision.iter().all(|&p| p == params.max_precision) {
+            break;
+        }
+    }
+    evaluations += st.evaluations;
+
+    TuningOutcome {
+        app: app.name().to_owned(),
+        threshold: params.threshold,
+        type_system: params.type_system,
+        vars: vars
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TunedVar {
+                spec: spec.clone(),
+                precision_bits: st.precision[i],
+                needs_wide_range: st.wide[i],
+            })
+            .collect(),
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexfloat::Fx;
+    use tp_formats::{BINARY16, BINARY16ALT, BINARY32, BINARY8};
+
+    /// y = Σ xᵢ·wᵢ with two variables; x needs little precision, w needs a
+    /// lot (its values are close together, differences matter).
+    struct TwoVars;
+
+    impl Tunable for TwoVars {
+        fn name(&self) -> &str {
+            "TWOVARS"
+        }
+        fn variables(&self) -> Vec<VarSpec> {
+            vec![VarSpec::array("x", 8), VarSpec::scalar("delta")]
+        }
+        fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+            let fx = config.format_of("x");
+            let fd = config.format_of("delta");
+            let base = 1.0 + input_set as f64 * 0.25;
+            // delta carries fine detail: result = Σ (x_i + delta) where
+            // delta = 1/512 needs ~9+ bits of precision relative to x_i.
+            let delta = Fx::new(1.0 + 1.0 / 512.0, fd);
+            let mut out = Vec::new();
+            for i in 0..8 {
+                let x = Fx::new(base + i as f64 * 0.5, fx);
+                out.push((x * delta).value());
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn loose_threshold_drives_precisions_down() {
+        let outcome = distributed_search(
+            &TwoVars,
+            SearchParams { input_sets: 2, ..SearchParams::paper(1e-1) },
+        );
+        // At 10% error both variables can be tiny.
+        for v in &outcome.vars {
+            assert!(v.precision_bits <= 4, "{}: {}", v.spec.name, v.precision_bits);
+        }
+    }
+
+    #[test]
+    fn tight_threshold_keeps_delta_precise() {
+        let outcome = distributed_search(
+            &TwoVars,
+            SearchParams { input_sets: 2, ..SearchParams::paper(1e-4) },
+        );
+        let delta = outcome.var("delta").unwrap();
+        let x = outcome.var("x").unwrap();
+        // delta = 1 + 2^-9 needs ~10 significand bits to even exist.
+        assert!(delta.precision_bits >= 10, "delta: {}", delta.precision_bits);
+        // x values are coarse (halves); they need far fewer bits than delta.
+        assert!(x.precision_bits < delta.precision_bits, "x: {}", x.precision_bits);
+    }
+
+    #[test]
+    fn outcome_satisfies_threshold_on_all_sets() {
+        for threshold in [1e-1, 1e-2, 1e-3] {
+            let params = SearchParams { input_sets: 3, ..SearchParams::paper(threshold) };
+            let outcome = distributed_search(&TwoVars, params);
+            let cfg = outcome.eval_config();
+            for set in 0..3 {
+                let reference = TwoVars.reference(set);
+                let out = TwoVars.run(&cfg, set);
+                let err = relative_rms_error(&reference, &out);
+                assert!(err <= threshold, "set {set}: {err} > {threshold}");
+            }
+        }
+    }
+
+    /// A program whose single variable holds values around 1e6 — far outside
+    /// binary16's range — but needs almost no precision.
+    struct WideRange;
+
+    impl Tunable for WideRange {
+        fn name(&self) -> &str {
+            "WIDERANGE"
+        }
+        fn variables(&self) -> Vec<VarSpec> {
+            vec![VarSpec::array("big", 4)]
+        }
+        fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+            let f = config.format_of("big");
+            (0..4)
+                .map(|i| {
+                    let x = Fx::new(1.0e6 * (1.0 + 0.5 * (i + input_set) as f64), f);
+                    (x + x).value()
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn wide_range_is_detected() {
+        let outcome = distributed_search(
+            &WideRange,
+            SearchParams { input_sets: 2, ..SearchParams::paper(1e-1) },
+        );
+        let v = outcome.var("big").unwrap();
+        // Low precision suffices, but a 5-bit exponent saturates at ~57344/65504,
+        // so the search must either flag wide-range or land in an 8-bit-exponent
+        // interval.
+        let fmt = v.eval_format(TypeSystem::V2);
+        assert_eq!(fmt.exp_bits(), 8, "evaluation format must have binary32 range");
+        assert!(v.precision_bits <= 8, "precision: {}", v.precision_bits);
+    }
+
+    #[test]
+    fn eval_format_intervals() {
+        use TypeSystem::{V1, V2};
+        assert_eq!(eval_format(V2, 3, false), FpFormat::new(5, 2).unwrap());
+        assert_eq!(eval_format(V2, 6, false), FpFormat::new(8, 5).unwrap());
+        assert_eq!(eval_format(V2, 10, false), FpFormat::new(5, 9).unwrap());
+        assert_eq!(eval_format(V2, 24, false), BINARY32);
+        assert_eq!(eval_format(V1, 6, false), FpFormat::new(5, 5).unwrap());
+        assert_eq!(eval_format(V2, 3, true).exp_bits(), 8);
+        // The named formats fall out at the interval edges.
+        assert_eq!(eval_format(V2, 3, false), BINARY8);
+        assert_eq!(eval_format(V2, 8, false), BINARY16ALT);
+        assert_eq!(eval_format(V2, 11, false), BINARY16);
+    }
+
+    #[test]
+    #[should_panic(expected = "no variables")]
+    fn empty_program_panics() {
+        struct Empty;
+        impl Tunable for Empty {
+            fn name(&self) -> &str {
+                "EMPTY"
+            }
+            fn variables(&self) -> Vec<VarSpec> {
+                vec![]
+            }
+            fn run(&self, _: &TypeConfig, _: usize) -> Vec<f64> {
+                vec![]
+            }
+        }
+        let _ = distributed_search(&Empty, SearchParams::paper(0.1));
+    }
+}

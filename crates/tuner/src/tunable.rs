@@ -1,0 +1,61 @@
+//! The [`Tunable`] contract between applications and the tuner.
+
+use flexfloat::{TypeConfig, VarSpec};
+
+/// A program whose floating-point variables can be precision-tuned.
+///
+/// This mirrors the requirements DistributedSearch places on a target
+/// binary (paper Section II): it must expose its tunable variables, accept
+/// a per-variable precision configuration, and emit its numerical outputs.
+///
+/// Implementations must be *deterministic*: the same `(config, input_set)`
+/// pair must always produce the same outputs.
+pub trait Tunable {
+    /// Short identifier used in reports (e.g. `"JACOBI"`).
+    fn name(&self) -> &str;
+
+    /// The tunable variables (the program's FP "memory locations").
+    fn variables(&self) -> Vec<VarSpec>;
+
+    /// Runs the program under `config` on the given input set and returns
+    /// its outputs (the values whose quality is constrained).
+    fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64>;
+
+    /// The golden output for an input set. Defaults to running the
+    /// program with every variable in binary32, matching the paper's use of
+    /// the original single-precision program as the target.
+    fn reference(&self, input_set: usize) -> Vec<f64> {
+        self.run(&TypeConfig::baseline(), input_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_formats::BINARY32;
+
+    struct Doubler;
+
+    impl Tunable for Doubler {
+        fn name(&self) -> &str {
+            "DOUBLER"
+        }
+        fn variables(&self) -> Vec<VarSpec> {
+            vec![VarSpec::scalar("x")]
+        }
+        fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+            let fmt = config.format_of("x");
+            let x = flexfloat::Fx::new(1.1 * (input_set + 1) as f64, fmt);
+            vec![(x + x).value()]
+        }
+    }
+
+    #[test]
+    fn default_reference_is_binary32_run() {
+        let app = Doubler;
+        let reference = app.reference(0);
+        let baseline = app.run(&TypeConfig::uniform(BINARY32), 0);
+        assert_eq!(reference, baseline);
+        assert_ne!(reference[0], 2.2); // binary32 rounding is visible
+    }
+}

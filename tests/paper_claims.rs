@@ -1,0 +1,194 @@
+//! Figure-level invariants: the qualitative claims of the paper's
+//! evaluation, asserted against the full-size benchmark suite.
+//!
+//! These tests run the paper-size kernels, so they are the slowest in the
+//! workspace (a few seconds in release, tens of seconds in debug).
+
+use tp_bench::{evaluate_app, evaluate_suite, AppResult};
+use tp_formats::{FormatKind, TypeSystem};
+use tp_kernels::{Knn, Pca};
+use tp_platform::PlatformParams;
+use tp_tuner::{classify_variables, distributed_search, SearchParams};
+
+/// The full-size suite evaluation is the slowest step; share one instance
+/// across every test in this file.
+fn suite(threshold: f64) -> &'static [AppResult] {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<Vec<AppResult>> = OnceLock::new();
+    assert_eq!(threshold, 1e-1, "only the loose threshold is cached");
+    CACHE.get_or_init(|| evaluate_suite(1e-1, &PlatformParams::paper()))
+}
+
+fn find<'a>(rs: &'a [AppResult], name: &str) -> &'a AppResult {
+    rs.iter().find(|r| r.app == name).expect("kernel present")
+}
+
+/// Headline: up to 90 % of FP operations scale down to 8/16-bit formats.
+#[test]
+fn ninety_percent_of_ops_scale_down() {
+    let rs = suite(1e-1);
+    let best = rs
+        .iter()
+        .map(|r| r.tuned_counts.small_format_op_share())
+        .fold(0.0f64, f64::max);
+    assert!(best >= 0.9, "best sub-32-bit share {best}");
+}
+
+/// KNN: every variable lands in binary8, at every threshold (Fig. 4 row).
+#[test]
+fn knn_is_all_binary8_at_every_threshold() {
+    for threshold in [1e-1, 1e-2, 1e-3] {
+        let outcome = distributed_search(&Knn::paper(), SearchParams::paper(threshold));
+        let classes = classify_variables(&outcome, TypeSystem::V2);
+        assert_eq!(
+            classes.get(&FormatKind::Binary8).copied().unwrap_or(0),
+            outcome.vars.len(),
+            "threshold {threshold:.0e}: {classes:?}"
+        );
+    }
+}
+
+/// Fig. 6: SVM and CONV achieve deep memory-access reductions; JACOBI and
+/// PCA do not vectorize and stay at the baseline access count.
+#[test]
+fn memory_reduction_shape() {
+    let rs = suite(1e-1);
+    assert!(find(rs, "SVM").memory_ratio() < 0.6);
+    assert!(find(rs, "CONV").memory_ratio() < 0.6);
+    assert!((find(rs, "JACOBI").memory_ratio() - 1.0).abs() < 1e-9);
+    assert!(find(rs, "PCA").memory_ratio() > 0.95);
+    // KNN reduces accesses without fully packing (scalar selection phase).
+    let knn = find(rs, "KNN").memory_ratio();
+    assert!((0.3..0.7).contains(&knn), "KNN {knn}");
+}
+
+/// Fig. 6: average cycle reduction is noticeable but bounded (the paper
+/// reports 12 % average, 17 % excluding the outliers).
+#[test]
+fn cycle_reduction_shape() {
+    let rs = suite(1e-1);
+    let avg = tp_bench::mean(&rs.iter().map(AppResult::cycle_ratio).collect::<Vec<_>>());
+    assert!((0.75..0.98).contains(&avg), "avg cycle ratio {avg}");
+    // JACOBI performs no vector operations: cycles stay at the baseline.
+    assert!((find(rs, "JACOBI").cycle_ratio() - 1.0).abs() < 0.02);
+    // PCA exceeds the baseline due to casts.
+    assert!(find(rs, "PCA").cycle_ratio() > 1.0);
+}
+
+/// Fig. 7: the energy ordering of the paper — KNN is among the deepest
+/// savers (the paper's single best at −30 %; in our reproduction CONV's
+/// fully-packed loads put it within a couple of points of KNN), JACOBI is
+/// near parity, PCA is the worst (around or above 100 %).
+#[test]
+fn energy_ordering_matches_figure7() {
+    let rs = suite(1e-1);
+    let knn = find(rs, "KNN").energy_ratio();
+    let jacobi = find(rs, "JACOBI").energy_ratio();
+    let pca = find(rs, "PCA").energy_ratio();
+    let best = rs.iter().map(AppResult::energy_ratio).fold(f64::INFINITY, f64::min);
+    assert!(knn <= best + 0.05, "KNN must be within 5 points of the best: {knn} vs {best}");
+    let better_than_knn = rs.iter().filter(|r| r.energy_ratio() < knn - 1e-9).count();
+    assert!(better_than_knn <= 1, "KNN must rank in the top two");
+    assert!((0.60..0.82).contains(&knn), "KNN {knn} (paper 70%)");
+    assert!((0.88..1.0).contains(&jacobi), "JACOBI {jacobi} (paper 97%)");
+    assert!(pca > 0.97, "PCA {pca} (paper >= ~100%)");
+    for r in rs {
+        assert!(
+            pca >= r.energy_ratio() - 1e-9,
+            "PCA must be the worst: {pca} vs {} ({})",
+            r.energy_ratio(),
+            r.app
+        );
+    }
+}
+
+/// Fig. 7 labels ①②③: manually vectorizing PCA improves its energy at the
+/// loose threshold, where 16-bit data exists to vectorize.
+#[test]
+fn pca_manual_vectorization_helps() {
+    let params = PlatformParams::paper();
+    let plain = evaluate_app(&Pca::paper(), 1e-1, &params).energy_ratio();
+    let mut vectorized = Pca::paper();
+    vectorized.manual_vectorization = true;
+    let manual = evaluate_app(&vectorized, 1e-1, &params).energy_ratio();
+    assert!(manual < plain, "manual {manual} !< plain {plain}");
+}
+
+/// PCA's cast overhead exceeds 10 % of its FP operations after tuning
+/// (Section V-C).
+#[test]
+fn pca_casts_exceed_ten_percent() {
+    let r = evaluate_app(&Pca::paper(), 1e-1, &PlatformParams::paper());
+    let casts = r.tuned_counts.total_casts() as f64;
+    let ops = r.tuned_counts.total_fp_ops() as f64;
+    assert!(casts / ops > 0.10, "casts {casts} / ops {ops}");
+}
+
+/// Table I: V2 maps strictly fewer variables to binary32 than V1 across the
+/// suite (binary16alt extends the 16-bit coverage).
+#[test]
+fn v2_reduces_binary32_variables() {
+    let mut v1_total = 0usize;
+    let mut v2_total = 0usize;
+    for app in tp_kernels::all_kernels() {
+        for ts in [TypeSystem::V1, TypeSystem::V2] {
+            let outcome = distributed_search(
+                app.as_ref(),
+                SearchParams { type_system: ts, ..SearchParams::paper(1e-1) },
+            );
+            let n = classify_variables(&outcome, ts)
+                .get(&FormatKind::Binary32)
+                .copied()
+                .unwrap_or(0);
+            if ts == TypeSystem::V1 {
+                v1_total += n;
+            } else {
+                v2_total += n;
+            }
+        }
+    }
+    assert!(v2_total < v1_total, "V2 {v2_total} !< V1 {v1_total}");
+}
+
+/// Extension (paper Section VI): cast-aware tuning recovers the energy the
+/// precision-only tuner leaves on the table for cast-dominated PCA, and the
+/// refined configuration still meets the quality threshold.
+#[test]
+fn cast_aware_tuning_fixes_pca() {
+    use tp_tuner::{cast_aware_refine, relative_rms_error, Tunable};
+    let app = Pca::paper();
+    let params = PlatformParams::paper();
+    let search = SearchParams::paper(1e-1);
+    let outcome = distributed_search(&app, search);
+    let refined = cast_aware_refine(&app, &outcome, TypeSystem::V2, &params, search.input_sets);
+    assert!(
+        refined.improvement() > 0.05,
+        "PCA must improve by >5%: {:.3}",
+        refined.improvement()
+    );
+    assert!(
+        refined.final_casts < refined.initial_casts / 2,
+        "casts {} -> {}",
+        refined.initial_casts,
+        refined.final_casts
+    );
+    for set in 0..search.input_sets {
+        let reference = app.reference(set);
+        let out = app.run(&refined.config, set);
+        assert!(relative_rms_error(&reference, &out) <= 1e-1);
+    }
+}
+
+/// Section I anchor: FP operations plus FP data movement are roughly half
+/// of the baseline energy.
+#[test]
+fn baseline_energy_split_matches_motivation() {
+    let rs = suite(1e-1);
+    let mut fp_shares = Vec::new();
+    for r in rs {
+        let total = r.baseline.energy.total();
+        fp_shares.push((r.baseline.energy.fp_component() + r.baseline.energy.memory_pj) / total);
+    }
+    let avg = tp_bench::mean(&fp_shares);
+    assert!((0.40..0.60).contains(&avg), "FP-related share {avg} (paper ~0.5)");
+}
