@@ -31,7 +31,7 @@ macro_rules! flexfloat_sweep {
         for (&x, &y) in $a.iter().zip($b.iter()) {
             let fx = <$ty>::from(x);
             let fy = <$ty>::from(y);
-            acc = acc + fx * fy;
+            acc += fx * fy;
         }
         acc.to_f64()
     }};
@@ -100,13 +100,27 @@ fn bench_single_ops(c: &mut Criterion) {
     let bx = x.to_bits();
     let by = y.to_bits();
     group.bench_function("softfloat_binary16_mul", |bch| {
-        bch.iter(|| black_box(ops::mul(BINARY16, black_box(bx), black_box(by), RoundingMode::NearestEven)))
+        bch.iter(|| {
+            black_box(ops::mul(
+                BINARY16,
+                black_box(bx),
+                black_box(by),
+                RoundingMode::NearestEven,
+            ))
+        })
     });
     group.bench_function("flexfloat_binary16_div", |bch| {
         bch.iter(|| black_box(black_box(x) / black_box(y)))
     });
     group.bench_function("softfloat_binary16_div", |bch| {
-        bch.iter(|| black_box(ops::div(BINARY16, black_box(bx), black_box(by), RoundingMode::NearestEven)))
+        bch.iter(|| {
+            black_box(ops::div(
+                BINARY16,
+                black_box(bx),
+                black_box(by),
+                RoundingMode::NearestEven,
+            ))
+        })
     });
     group.finish();
 }

@@ -13,7 +13,9 @@ fn operands(fmt: FormatKind, n: usize) -> Vec<u64> {
     (0..n)
         .map(|i| {
             let v = 1.0 + (i as f64 * 0.611) % 1.0;
-            fmt.format().round_from_f64(v, RoundingMode::NearestEven).bits
+            fmt.format()
+                .round_from_f64(v, RoundingMode::NearestEven)
+                .bits
         })
         .collect()
 }
@@ -30,7 +32,9 @@ fn bench_scalar(c: &mut Criterion) {
                 let mut fpu = SmallFloatUnit::new();
                 let mut last = 0u64;
                 for i in 0..N {
-                    last = fpu.scalar(ArithOp::Mul, fmt, black_box(a[i]), black_box(b[i])).lanes[0];
+                    last = fpu
+                        .scalar(ArithOp::Mul, fmt, black_box(a[i]), black_box(b[i]))
+                        .lanes[0];
                 }
                 black_box(last)
             })
@@ -76,7 +80,11 @@ fn bench_conversions(c: &mut Criterion) {
     const N: usize = 1024;
     group.throughput(Throughput::Elements(N as u64));
     let a32 = operands(FormatKind::Binary32, N);
-    for &to in &[FormatKind::Binary16, FormatKind::Binary16Alt, FormatKind::Binary8] {
+    for &to in &[
+        FormatKind::Binary16,
+        FormatKind::Binary16Alt,
+        FormatKind::Binary8,
+    ] {
         group.bench_function(BenchmarkId::new("from_binary32", to.to_string()), |bch| {
             bch.iter(|| {
                 let mut fpu = SmallFloatUnit::new();

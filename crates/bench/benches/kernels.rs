@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 use flexfloat::{Recorder, TypeConfig};
 use tp_formats::TypeSystem;
-use tp_tuner::{distributed_search, storage_config, SearchParams, Tunable};
+use tp_tuner::{distributed_search, storage_config, SearchParams};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_run");
@@ -21,7 +21,13 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| black_box(app.run(&baseline, 0)))
         });
         let tuned = storage_config(
-            &distributed_search(app.as_ref(), SearchParams { input_sets: 1, ..SearchParams::paper(1e-1) }),
+            &distributed_search(
+                app.as_ref(),
+                SearchParams {
+                    input_sets: 1,
+                    ..SearchParams::paper(1e-1)
+                },
+            ),
             TypeSystem::V2,
         );
         group.bench_function(BenchmarkId::new("tuned", app.name()), |bch| {
@@ -44,7 +50,10 @@ fn bench_tuning(c: &mut Criterion) {
             bch.iter(|| {
                 black_box(distributed_search(
                     app.as_ref(),
-                    SearchParams { input_sets: 1, ..SearchParams::paper(1e-1) },
+                    SearchParams {
+                        input_sets: 1,
+                        ..SearchParams::paper(1e-1)
+                    },
                 ))
             })
         });

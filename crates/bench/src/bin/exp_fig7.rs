@@ -51,6 +51,9 @@ fn main() {
         let mut pca = Pca::paper();
         pca.manual_vectorization = true;
         let r = evaluate_app(&pca, threshold, &params);
-        println!("  threshold {threshold:.0e}: energy {}", pct(r.energy_ratio()));
+        println!(
+            "  threshold {threshold:.0e}: energy {}",
+            pct(r.energy_ratio())
+        );
     }
 }

@@ -16,7 +16,9 @@ use tp_fpu::{operation_modes, ArithOp, EnergyTable, SmallFloatUnit};
 /// close enough that additions do not cancel catastrophically.
 fn operand(rng: &mut SmallRng, fmt: FormatKind) -> u64 {
     let v = rng.random_range(1.0f64..2.0);
-    fmt.format().round_from_f64(v, RoundingMode::NearestEven).bits
+    fmt.format()
+        .round_from_f64(v, RoundingMode::NearestEven)
+        .bits
 }
 
 fn main() {

@@ -13,7 +13,10 @@ use tp_platform::{evaluate, PlatformParams};
 fn main() {
     let params = PlatformParams::paper();
     println!("E1: energy breakdown of the binary32 baseline (per application)");
-    println!("{:>8}  {:>8} {:>8} {:>8}   (paper: ~30% FP ops, ~20% FP memory)", "app", "FP ops", "FP mem", "other");
+    println!(
+        "{:>8}  {:>8} {:>8} {:>8}   (paper: ~30% FP ops, ~20% FP memory)",
+        "app", "FP ops", "FP mem", "other"
+    );
 
     let mut fp_shares = Vec::new();
     let mut mem_shares = Vec::new();
@@ -30,7 +33,13 @@ fn main() {
     }
     let fp = tp_bench::mean(&fp_shares);
     let mem = tp_bench::mean(&mem_shares);
-    println!("{:>8}  {} {} {}", "average", pct(fp), pct(mem), pct(1.0 - fp - mem));
+    println!(
+        "{:>8}  {} {} {}",
+        "average",
+        pct(fp),
+        pct(mem),
+        pct(1.0 - fp - mem)
+    );
     println!();
     println!(
         "FP-related share (ops + data movement): {} (paper: ~50%)",

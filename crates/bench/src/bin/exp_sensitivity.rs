@@ -12,8 +12,16 @@ use tp_platform::PlatformParams;
 fn suite_summary(params: &PlatformParams) -> (f64, f64, f64, bool) {
     let rs = evaluate_suite(1e-1, params);
     let ratios: Vec<f64> = rs.iter().map(|r| r.energy_ratio()).collect();
-    let knn = rs.iter().find(|r| r.app == "KNN").expect("KNN").energy_ratio();
-    let pca = rs.iter().find(|r| r.app == "PCA").expect("PCA").energy_ratio();
+    let knn = rs
+        .iter()
+        .find(|r| r.app == "KNN")
+        .expect("KNN")
+        .energy_ratio();
+    let pca = rs
+        .iter()
+        .find(|r| r.app == "PCA")
+        .expect("PCA")
+        .energy_ratio();
     // The headline orderings: PCA is the worst, KNN within the best two.
     let pca_worst = rs.iter().all(|r| pca >= r.energy_ratio() - 1e-9);
     let knn_rank = rs.iter().filter(|r| r.energy_ratio() < knn - 1e-9).count();
@@ -32,7 +40,12 @@ fn main() {
     let (avg, knn, pca, ord) = suite_summary(&base);
     println!(
         "{:>22} {:>7} {} {} {} {:>9}",
-        "(default)", "1.00", pct(avg), pct(knn), pct(pca), if ord { "held" } else { "BROKEN" }
+        "(default)",
+        "1.00",
+        pct(avg),
+        pct(knn),
+        pct(pca),
+        if ord { "held" } else { "BROKEN" }
     );
 
     type Knob = (&'static str, fn(&mut PlatformParams, f64));

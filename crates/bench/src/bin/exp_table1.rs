@@ -18,15 +18,19 @@ use tp_tuner::{classify_variables, distributed_search, SearchParams};
 fn main() {
     println!("E2: Table I — variables classified by type (threshold 1e-1)");
 
-    let mut totals: BTreeMap<(TypeSystem, FormatKind), usize> = BTreeMap::new();
-    let mut per_app: Vec<(String, BTreeMap<(TypeSystem, FormatKind), usize>)> = Vec::new();
+    type ClassCounts = BTreeMap<(TypeSystem, FormatKind), usize>;
+    let mut totals: ClassCounts = BTreeMap::new();
+    let mut per_app: Vec<(String, ClassCounts)> = Vec::new();
 
     for app in tp_kernels::all_kernels() {
         let mut row = BTreeMap::new();
         for ts in [TypeSystem::V1, TypeSystem::V2] {
             let outcome = distributed_search(
                 app.as_ref(),
-                SearchParams { type_system: ts, ..SearchParams::paper(1e-1) },
+                SearchParams {
+                    type_system: ts,
+                    ..SearchParams::paper(1e-1)
+                },
             );
             for (kind, n) in classify_variables(&outcome, ts) {
                 *row.entry((ts, kind)).or_insert(0) += n;
@@ -57,10 +61,16 @@ fn main() {
         println!("{:>8} {ts:>3} {}", "TOTAL", cells.join(""));
     }
 
-    let v1_32 = totals.get(&(TypeSystem::V1, FormatKind::Binary32)).copied().unwrap_or(0);
-    let v2_32 = totals.get(&(TypeSystem::V2, FormatKind::Binary32)).copied().unwrap_or(0);
+    let v1_32 = totals
+        .get(&(TypeSystem::V1, FormatKind::Binary32))
+        .copied()
+        .unwrap_or(0);
+    let v2_32 = totals
+        .get(&(TypeSystem::V2, FormatKind::Binary32))
+        .copied()
+        .unwrap_or(0);
     println!(
         "\nbinary32 variables: V1 = {v1_32}, V2 = {v2_32} ({}% fewer under V2; paper: 72 -> 41, ~43% fewer)",
-        if v1_32 > 0 { 100 * (v1_32.saturating_sub(v2_32)) / v1_32 } else { 0 }
+        (100 * v1_32.saturating_sub(v2_32)).checked_div(v1_32).unwrap_or(0)
     );
 }

@@ -11,7 +11,9 @@
 use flexfloat::{Recorder, TraceCounts, TypeConfig};
 use tp_formats::TypeSystem;
 use tp_platform::{evaluate, PlatformParams, PlatformReport};
-use tp_tuner::{distributed_search, validated_storage_config, SearchParams, Tunable, TuningOutcome};
+use tp_tuner::{
+    distributed_search, validated_storage_config, SearchParams, Tunable, TuningOutcome,
+};
 
 /// The three output-quality thresholds of the evaluation
 /// (the paper's `SQNR = 10⁻¹, 10⁻², 10⁻³`).

@@ -62,7 +62,10 @@ impl TypeConfig {
     /// A configuration assigning `fmt` to every variable.
     #[must_use]
     pub fn uniform(fmt: FpFormat) -> Self {
-        TypeConfig { assignments: BTreeMap::new(), default: fmt }
+        TypeConfig {
+            assignments: BTreeMap::new(),
+            default: fmt,
+        }
     }
 
     /// Sets the format of one variable (builder-style).
@@ -125,7 +128,9 @@ mod tests {
 
     #[test]
     fn assignments_override_default() {
-        let cfg = TypeConfig::baseline().with("x", BINARY8).with("y", BINARY16);
+        let cfg = TypeConfig::baseline()
+            .with("x", BINARY8)
+            .with("y", BINARY16);
         assert_eq!(cfg.format_of("x"), BINARY8);
         assert_eq!(cfg.format_of("y"), BINARY16);
         assert_eq!(cfg.format_of("z"), BINARY32);

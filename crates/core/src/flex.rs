@@ -64,7 +64,9 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
     /// The bit-level encoding of this value.
     #[must_use]
     pub fn to_bits(self) -> u64 {
-        Self::FORMAT.round_from_f64(self.0, RoundingMode::NearestEven).bits
+        Self::FORMAT
+            .round_from_f64(self.0, RoundingMode::NearestEven)
+            .bits
     }
 
     /// The exactly-equal `f64` (explicit cast to a standard type, as in the
@@ -130,7 +132,8 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
         if Self::NATIVE_EXACT {
             FlexFloat(Self::FORMAT.sanitize_f64(self.0.sqrt()))
         } else {
-            let bits = tp_softfloat::ops::sqrt(Self::FORMAT, self.to_bits(), RoundingMode::NearestEven);
+            let bits =
+                tp_softfloat::ops::sqrt(Self::FORMAT, self.to_bits(), RoundingMode::NearestEven);
             Self::from_bits(bits)
         }
     }
@@ -195,10 +198,18 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
         } else {
             let (ab, bb) = (a.to_bits(), b.to_bits());
             let bits = match exact_kind {
-                ExactKind::Add => tp_softfloat::ops::add(Self::FORMAT, ab, bb, RoundingMode::NearestEven),
-                ExactKind::Sub => tp_softfloat::ops::sub(Self::FORMAT, ab, bb, RoundingMode::NearestEven),
-                ExactKind::Mul => tp_softfloat::ops::mul(Self::FORMAT, ab, bb, RoundingMode::NearestEven),
-                ExactKind::Div => tp_softfloat::ops::div(Self::FORMAT, ab, bb, RoundingMode::NearestEven),
+                ExactKind::Add => {
+                    tp_softfloat::ops::add(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
+                }
+                ExactKind::Sub => {
+                    tp_softfloat::ops::sub(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
+                }
+                ExactKind::Mul => {
+                    tp_softfloat::ops::mul(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
+                }
+                ExactKind::Div => {
+                    tp_softfloat::ops::div(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
+                }
             };
             Self::from_bits(bits)
         }
@@ -378,7 +389,7 @@ mod tests {
 
     #[test]
     fn explicit_casts() {
-        let a = Binary32::from(3.14159);
+        let a = Binary32::from(std::f64::consts::PI);
         let small: Binary16Alt = a.cast_to();
         assert_eq!(small.to_f64(), 3.140625);
         let back = Binary32::cast_from(small);

@@ -46,13 +46,21 @@ impl Fx {
     /// is a literal / initialization, not a runtime cast).
     #[must_use]
     pub fn new(x: f64, fmt: FpFormat) -> Self {
-        Fx { val: fmt.sanitize_f64(x), fmt, prod: 0 }
+        Fx {
+            val: fmt.sanitize_f64(x),
+            fmt,
+            prod: 0,
+        }
     }
 
     /// Zero in `fmt`.
     #[must_use]
     pub fn zero(fmt: FpFormat) -> Self {
-        Fx { val: 0.0, fmt, prod: 0 }
+        Fx {
+            val: 0.0,
+            fmt,
+            prod: 0,
+        }
     }
 
     /// The backing value (exactly representable in [`Fx::format`]).
@@ -78,7 +86,11 @@ impl Fx {
         if Recorder::is_enabled() {
             Recorder::cast(self.fmt, dst);
         }
-        Fx { val: dst.sanitize_f64(self.val), fmt: dst, prod: 0 }
+        Fx {
+            val: dst.sanitize_f64(self.val),
+            fmt: dst,
+            prod: 0,
+        }
     }
 
     /// Square root in this value's format.
@@ -99,7 +111,10 @@ impl Fx {
     /// Absolute value (sign manipulation; free, not recorded).
     #[must_use]
     pub fn abs(self) -> Self {
-        Fx { val: self.val.abs(), ..self }
+        Fx {
+            val: self.val.abs(),
+            ..self
+        }
     }
 
     /// The smaller of two values (records one comparison op).
@@ -111,7 +126,11 @@ impl Fx {
         } else {
             0
         };
-        let val = if a.val.is_nan() || b.val <= a.val { b.val } else { a.val };
+        let val = if a.val.is_nan() || b.val <= a.val {
+            b.val
+        } else {
+            a.val
+        };
         Fx { val, fmt, prod }
     }
 
@@ -124,7 +143,11 @@ impl Fx {
         } else {
             0
         };
-        let val = if a.val.is_nan() || b.val >= a.val { b.val } else { a.val };
+        let val = if a.val.is_nan() || b.val >= a.val {
+            b.val
+        } else {
+            a.val
+        };
         Fx { val, fmt, prod }
     }
 
@@ -179,7 +202,11 @@ impl Fx {
         let raw = f(a.val, b.val);
         // Exact for every format the platform deploys (m <= 23 <= 25); the
         // tuner never instantiates wider mantissas than binary32's.
-        Fx { val: fmt.sanitize_f64(raw), fmt, prod }
+        Fx {
+            val: fmt.sanitize_f64(raw),
+            fmt,
+            prod,
+        }
     }
 }
 
@@ -214,7 +241,10 @@ impl std::ops::Div for Fx {
 impl std::ops::Neg for Fx {
     type Output = Fx;
     fn neg(self) -> Fx {
-        Fx { val: -self.val, ..self }
+        Fx {
+            val: -self.val,
+            ..self
+        }
     }
 }
 
@@ -261,7 +291,10 @@ impl FxArray {
     /// Creates a zero-filled array of `len` elements.
     #[must_use]
     pub fn zeros(fmt: FpFormat, len: usize) -> Self {
-        FxArray { fmt, data: vec![0.0; len] }
+        FxArray {
+            fmt,
+            data: vec![0.0; len],
+        }
     }
 
     /// The element format.
@@ -294,7 +327,11 @@ impl FxArray {
             // value never stalls a consumer (prod stays 0).
             Recorder::load(self.fmt.total_bits());
         }
-        Fx { val: self.data[i], fmt: self.fmt, prod: 0 }
+        Fx {
+            val: self.data[i],
+            fmt: self.fmt,
+            prod: 0,
+        }
     }
 
     /// Stores `v` into element `i`, rounding to the array's format
@@ -394,7 +431,10 @@ mod tests {
             let c = a * b; // producer
             let _d = c + a; // consumer immediately follows
         });
-        assert_eq!(counts.dependent_pairs.get(&BINARY32).map(|c| c.total()), Some(1));
+        assert_eq!(
+            counts.dependent_pairs.get(&BINARY32).map(|c| c.total()),
+            Some(1)
+        );
 
         let (_, counts) = Recorder::record(|| {
             let a = Fx::new(1.5, BINARY32);
@@ -443,7 +483,14 @@ mod tests {
             assert_eq!(acc.value(), 10.0);
         });
         assert_eq!(counts.loads.get(&8).unwrap().vector, 4);
-        assert_eq!(counts.ops.get(&(BINARY8, crate::OpKind::AddSub)).unwrap().vector, 4);
+        assert_eq!(
+            counts
+                .ops
+                .get(&(BINARY8, crate::OpKind::AddSub))
+                .unwrap()
+                .vector,
+            4
+        );
     }
 
     #[test]
@@ -465,7 +512,14 @@ mod tests {
             let _ = a.min(b);
             let _ = a.max(b);
         });
-        assert_eq!(counts.ops.get(&(BINARY8, crate::OpKind::Cmp)).unwrap().total(), 4);
+        assert_eq!(
+            counts
+                .ops
+                .get(&(BINARY8, crate::OpKind::Cmp))
+                .unwrap()
+                .total(),
+            4
+        );
     }
 
     #[test]

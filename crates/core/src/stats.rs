@@ -39,8 +39,14 @@ pub enum OpKind {
 
 impl OpKind {
     /// All kinds, for report iteration.
-    pub const ALL: [OpKind; 6] =
-        [OpKind::AddSub, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Fma, OpKind::Cmp];
+    pub const ALL: [OpKind; 6] = [
+        OpKind::AddSub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Sqrt,
+        OpKind::Fma,
+        OpKind::Cmp,
+    ];
 }
 
 impl fmt::Display for OpKind {
@@ -132,13 +138,21 @@ impl TraceCounts {
     /// Total FP memory accesses (loads + stores, before SIMD packing).
     #[must_use]
     pub fn total_mem_accesses(&self) -> u64 {
-        self.loads.values().chain(self.stores.values()).map(|c| c.total()).sum()
+        self.loads
+            .values()
+            .chain(self.stores.values())
+            .map(|c| c.total())
+            .sum()
     }
 
     /// FP operations executed in `fmt` (scalar + vector).
     #[must_use]
     pub fn fp_ops_in(&self, fmt: FpFormat) -> u64 {
-        self.ops.iter().filter(|((f, _), _)| *f == fmt).map(|(_, c)| c.total()).sum()
+        self.ops
+            .iter()
+            .filter(|((f, _), _)| *f == fmt)
+            .map(|(_, c)| c.total())
+            .sum()
     }
 
     /// Share of FP operations executed in formats narrower than 32 bits.
@@ -213,7 +227,10 @@ impl Recorder {
     pub fn start() {
         RECORDER.with(|r| {
             let mut s = r.borrow_mut();
-            *s = RecorderState { enabled: true, ..Default::default() };
+            *s = RecorderState {
+                enabled: true,
+                ..Default::default()
+            };
         });
     }
 
@@ -256,7 +273,11 @@ impl Recorder {
             s.counts.ops.entry((fmt, kind)).or_default().bump(vector);
             if let Some((pid, pfmt)) = s.last_fp {
                 if pid + 1 == id && (dep_a == pid || dep_b == pid) {
-                    s.counts.dependent_pairs.entry(pfmt).or_default().bump(vector);
+                    s.counts
+                        .dependent_pairs
+                        .entry(pfmt)
+                        .or_default()
+                        .bump(vector);
                 }
             }
             s.last_fp = Some((id, fmt));
@@ -402,7 +423,10 @@ mod tests {
         assert_eq!(counts.total_casts(), 1);
         assert_eq!(counts.total_mem_accesses(), 2);
         assert_eq!(counts.int_ops, 3);
-        assert_eq!(counts.dependent_pairs.get(&BINARY32).map(|c| c.total()), Some(1));
+        assert_eq!(
+            counts.dependent_pairs.get(&BINARY32).map(|c| c.total()),
+            Some(1)
+        );
         assert_eq!(counts.casts.get(&(BINARY32, BINARY8)).unwrap().total(), 1);
     }
 
@@ -456,7 +480,10 @@ mod tests {
             // still inside the outer section
             Recorder::fp_op(BINARY8, OpKind::AddSub, 0, 0);
         });
-        assert_eq!(counts.ops.get(&(BINARY8, OpKind::AddSub)).unwrap().vector, 2);
+        assert_eq!(
+            counts.ops.get(&(BINARY8, OpKind::AddSub)).unwrap().vector,
+            2
+        );
     }
 
     #[test]

@@ -76,11 +76,7 @@ impl<const E: u32, const M: u32, const N: usize> FlexVec<E, M, N> {
     /// scalar operations — reductions serialize on the real unit too).
     #[must_use]
     pub fn reduce_sum(self) -> FlexFloat<E, M> {
-        let mut acc = self.0[0];
-        for lane in &self.0[1..] {
-            acc = acc + *lane;
-        }
-        acc
+        self.0[1..].iter().fold(self.0[0], |acc, lane| acc + *lane)
     }
 
     /// Element-wise fused multiply-add `self * b + c` (one vector FMA
@@ -89,20 +85,24 @@ impl<const E: u32, const M: u32, const N: usize> FlexVec<E, M, N> {
     pub fn mul_add(self, b: Self, c: Self) -> Self {
         let _v = VectorSection::enter();
         let mut out = self.0;
-        for i in 0..N {
-            out[i] = self.0[i].mul_add(b.0[i], c.0[i]);
+        for (o, (bi, ci)) in out.iter_mut().zip(b.0.iter().zip(c.0.iter())) {
+            *o = o.mul_add(*bi, *ci);
         }
         FlexVec(out)
     }
 
-    fn lanewise(self, rhs: Self, f: impl Fn(FlexFloat<E, M>, FlexFloat<E, M>) -> FlexFloat<E, M>) -> Self {
+    fn lanewise(
+        self,
+        rhs: Self,
+        f: impl Fn(FlexFloat<E, M>, FlexFloat<E, M>) -> FlexFloat<E, M>,
+    ) -> Self {
         // Entering a vector section makes the per-lane records land in the
         // vector counters, which the cycle/energy models then pack back
         // into single issues.
         let _v = VectorSection::enter();
         let mut out = self.0;
-        for i in 0..N {
-            out[i] = f(self.0[i], rhs.0[i]);
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o = f(*o, *r);
         }
         FlexVec(out)
     }
@@ -183,9 +183,8 @@ mod tests {
 
     #[test]
     fn reduction_is_scalar() {
-        let (sum, counts) = Recorder::record(|| {
-            Vec4x8::from_f64s([1.0, 2.0, 3.0, 4.0]).reduce_sum()
-        });
+        let (sum, counts) =
+            Recorder::record(|| Vec4x8::from_f64s([1.0, 2.0, 3.0, 4.0]).reduce_sum());
         assert_eq!(sum.to_f64(), 10.0);
         let scalar: u64 = counts.ops.values().map(|c| c.scalar).sum();
         assert_eq!(scalar, 3);

@@ -52,7 +52,10 @@ impl FloatClass {
     #[inline]
     #[must_use]
     pub fn is_finite(self) -> bool {
-        matches!(self, FloatClass::Zero | FloatClass::Subnormal | FloatClass::Normal)
+        matches!(
+            self,
+            FloatClass::Zero | FloatClass::Subnormal | FloatClass::Normal
+        )
     }
 }
 
@@ -77,16 +80,34 @@ mod tests {
     #[test]
     fn classify_specials() {
         for fmt in [BINARY8, BINARY16, BINARY32] {
-            assert_eq!(FloatClass::of_bits(fmt, fmt.zero_bits(false)), FloatClass::Zero);
-            assert_eq!(FloatClass::of_bits(fmt, fmt.zero_bits(true)), FloatClass::Zero);
-            assert_eq!(FloatClass::of_bits(fmt, fmt.inf_bits(false)), FloatClass::Infinite);
-            assert_eq!(FloatClass::of_bits(fmt, fmt.inf_bits(true)), FloatClass::Infinite);
-            assert_eq!(FloatClass::of_bits(fmt, fmt.quiet_nan_bits()), FloatClass::Nan);
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.zero_bits(false)),
+                FloatClass::Zero
+            );
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.zero_bits(true)),
+                FloatClass::Zero
+            );
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.inf_bits(false)),
+                FloatClass::Infinite
+            );
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.inf_bits(true)),
+                FloatClass::Infinite
+            );
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.quiet_nan_bits()),
+                FloatClass::Nan
+            );
             assert_eq!(
                 FloatClass::of_bits(fmt, fmt.min_subnormal_bits()),
                 FloatClass::Subnormal
             );
-            assert_eq!(FloatClass::of_bits(fmt, fmt.min_normal_bits()), FloatClass::Normal);
+            assert_eq!(
+                FloatClass::of_bits(fmt, fmt.min_normal_bits()),
+                FloatClass::Normal
+            );
             assert_eq!(
                 FloatClass::of_bits(fmt, fmt.max_finite_bits(false)),
                 FloatClass::Normal

@@ -50,7 +50,11 @@ impl FpFormat {
         let (sign, exp, man) = self.unpack(bits);
         let s = if sign { -1.0 } else { 1.0 };
         if exp == self.exp_field_max() {
-            return if man == 0 { s * f64::INFINITY } else { f64::NAN };
+            return if man == 0 {
+                s * f64::INFINITY
+            } else {
+                f64::NAN
+            };
         }
         let m = self.man_bits() as i32;
         if exp == 0 {
@@ -75,7 +79,12 @@ impl FpFormat {
     /// NaN inputs map to the canonical quiet NaN of the format.
     #[must_use]
     pub fn round_from_f64(self, x: f64, mode: RoundingMode) -> RoundOutcome {
-        let exact = |bits| RoundOutcome { bits, inexact: false, overflow: false, underflow: false };
+        let exact = |bits| RoundOutcome {
+            bits,
+            inexact: false,
+            overflow: false,
+            underflow: false,
+        };
         if x.is_nan() {
             return exact(self.quiet_nan_bits());
         }
@@ -140,7 +149,12 @@ impl FpFormat {
             } else {
                 self.pack(sign, 0, kept)
             };
-            return RoundOutcome { bits, inexact, overflow: false, underflow: inexact };
+            return RoundOutcome {
+                bits,
+                inexact,
+                overflow: false,
+                underflow: inexact,
+            };
         }
 
         let mut e = e;
@@ -168,7 +182,12 @@ impl FpFormat {
                     }
                 }
             };
-            return RoundOutcome { bits, inexact: true, overflow: true, underflow: false };
+            return RoundOutcome {
+                bits,
+                inexact: true,
+                overflow: true,
+                underflow: false,
+            };
         }
         let exp_field = (e + self.bias()) as u64;
         let man_field = kept & self.man_mask();
@@ -238,6 +257,9 @@ impl FpFormat {
 }
 
 #[cfg(test)]
+// Binary literals here are grouped as sign_exponent_mantissa, which is the
+// readable grouping for float encodings, not equal-width byte groups.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use crate::{BINARY16, BINARY16ALT, BINARY32, BINARY64, BINARY8};
@@ -284,8 +306,23 @@ mod tests {
     fn round_matches_native_f32_cast() {
         // f64 -> f32 native rounding is RNE; ours must agree bit-for-bit.
         let samples = [
-            0.1, 1.0, 1.5, 3.141592653589793, 1e-40, 1e-45, 1e38, 3.5e38, 1e39, -2.7e-20,
-            6.1e-5, 65504.0, 65520.0, 1.00000011920928955, f64::MIN_POSITIVE, 1e-320,
+            0.1,
+            1.0,
+            1.5,
+            std::f64::consts::PI,
+            1e-40,
+            1e-45,
+            1e38,
+            3.5e38,
+            1e39,
+            -2.7e-20,
+            6.1e-5,
+            65504.0,
+            65520.0,
+            // 1 + 2^-23: the tie point straddling the f32 mantissa boundary.
+            1.0 + f32::EPSILON as f64,
+            f64::MIN_POSITIVE,
+            1e-320,
         ];
         for &x in &samples {
             for x in [x, -x] {
@@ -338,10 +375,22 @@ mod tests {
         let max = BINARY8.max_finite();
         assert_eq!(rne(BINARY8, big), f64::INFINITY);
         assert_eq!(BINARY8.round_trip_f64(big, RoundingMode::TowardZero), max);
-        assert_eq!(BINARY8.round_trip_f64(big, RoundingMode::TowardNegative), max);
-        assert_eq!(BINARY8.round_trip_f64(big, RoundingMode::TowardPositive), f64::INFINITY);
-        assert_eq!(BINARY8.round_trip_f64(-big, RoundingMode::TowardPositive), -max);
-        assert_eq!(BINARY8.round_trip_f64(-big, RoundingMode::TowardNegative), f64::NEG_INFINITY);
+        assert_eq!(
+            BINARY8.round_trip_f64(big, RoundingMode::TowardNegative),
+            max
+        );
+        assert_eq!(
+            BINARY8.round_trip_f64(big, RoundingMode::TowardPositive),
+            f64::INFINITY
+        );
+        assert_eq!(
+            BINARY8.round_trip_f64(-big, RoundingMode::TowardPositive),
+            -max
+        );
+        assert_eq!(
+            BINARY8.round_trip_f64(-big, RoundingMode::TowardNegative),
+            f64::NEG_INFINITY
+        );
         let out = BINARY8.round_from_f64(big, RoundingMode::NearestEven);
         assert!(out.overflow && out.inexact && !out.underflow);
     }
@@ -409,10 +458,22 @@ mod tests {
             let out = BINARY16ALT.round_from_f64(x, RoundingMode::NearestEven);
             assert!(!out.overflow, "x = {x:e}");
         }
-        assert!(BINARY16ALT.round_from_f64(f32::MAX as f64, RoundingMode::NearestEven).overflow);
+        assert!(
+            BINARY16ALT
+                .round_from_f64(f32::MAX as f64, RoundingMode::NearestEven)
+                .overflow
+        );
         // While binary16 saturates three decades earlier.
-        assert!(BINARY16.round_from_f64(1e38, RoundingMode::NearestEven).overflow);
-        assert!(BINARY16.round_from_f64(1e6, RoundingMode::NearestEven).overflow);
+        assert!(
+            BINARY16
+                .round_from_f64(1e38, RoundingMode::NearestEven)
+                .overflow
+        );
+        assert!(
+            BINARY16
+                .round_from_f64(1e6, RoundingMode::NearestEven)
+                .overflow
+        );
     }
 
     #[test]
@@ -439,6 +500,9 @@ mod tests {
     fn ldexp_extremes() {
         assert_eq!(super::ldexp(1.0, -1074), f64::from_bits(1));
         assert_eq!(super::ldexp(1.0, 1023), 2f64.powi(1023));
-        assert_eq!(super::ldexp(4503599627370495.0, -1074 + 1), f64::from_bits((1 << 52) - 1) * 2.0);
+        assert_eq!(
+            super::ldexp(4503599627370495.0, -1074 + 1),
+            f64::from_bits((1 << 52) - 1) * 2.0
+        );
     }
 }

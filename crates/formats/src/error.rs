@@ -23,15 +23,20 @@ impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             FormatError::ExponentBits(e) => {
-                write!(f, "exponent width {e} is outside the supported range 1..=11")
+                write!(
+                    f,
+                    "exponent width {e} is outside the supported range 1..=11"
+                )
             }
             FormatError::MantissaBits(m) => {
-                write!(f, "mantissa width {m} is outside the supported range 1..=52")
+                write!(
+                    f,
+                    "mantissa width {m} is outside the supported range 1..=52"
+                )
             }
-            FormatError::TooWide { exp_bits, man_bits } => write!(
-                f,
-                "format 1+{exp_bits}+{man_bits} does not fit in 64 bits"
-            ),
+            FormatError::TooWide { exp_bits, man_bits } => {
+                write!(f, "format 1+{exp_bits}+{man_bits} does not fit in 64 bits")
+            }
         }
     }
 }
@@ -47,11 +52,18 @@ mod tests {
         let msgs = [
             FormatError::ExponentBits(0).to_string(),
             FormatError::MantissaBits(53).to_string(),
-            FormatError::TooWide { exp_bits: 11, man_bits: 52 }.to_string(),
+            FormatError::TooWide {
+                exp_bits: 11,
+                man_bits: 52,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
-            assert!(m.chars().next().unwrap().is_lowercase(), "lowercase start: {m}");
+            assert!(
+                m.chars().next().unwrap().is_lowercase(),
+                "lowercase start: {m}"
+            );
         }
     }
 }

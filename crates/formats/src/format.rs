@@ -61,8 +61,14 @@ impl FpFormat {
     /// by [`FpFormat::new`].
     #[must_use]
     pub const fn new_const(exp_bits: u32, man_bits: u32) -> Self {
-        assert!(exp_bits >= 1 && exp_bits <= 11, "exponent width out of range");
-        assert!(man_bits >= 1 && man_bits <= 52, "mantissa width out of range");
+        assert!(
+            exp_bits >= 1 && exp_bits <= 11,
+            "exponent width out of range"
+        );
+        assert!(
+            man_bits >= 1 && man_bits <= 52,
+            "mantissa width out of range"
+        );
         assert!(1 + exp_bits + man_bits <= 64, "format too wide");
         FpFormat { exp_bits, man_bits }
     }
@@ -324,7 +330,10 @@ mod tests {
         assert_eq!(BINARY32.inf_bits(false), f32::INFINITY.to_bits() as u64);
         assert_eq!(BINARY32.inf_bits(true), f32::NEG_INFINITY.to_bits() as u64);
         assert_eq!(BINARY32.max_finite_bits(false), f32::MAX.to_bits() as u64);
-        assert_eq!(BINARY32.min_normal_bits(), f32::MIN_POSITIVE.to_bits() as u64);
+        assert_eq!(
+            BINARY32.min_normal_bits(),
+            f32::MIN_POSITIVE.to_bits() as u64
+        );
         assert_eq!(BINARY32.zero_bits(true), (-0.0f32).to_bits() as u64);
     }
 

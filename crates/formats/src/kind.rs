@@ -118,7 +118,11 @@ impl TypeSystem {
     #[must_use]
     pub fn kinds(self) -> &'static [FormatKind] {
         match self {
-            TypeSystem::V1 => &[FormatKind::Binary8, FormatKind::Binary16, FormatKind::Binary32],
+            TypeSystem::V1 => &[
+                FormatKind::Binary8,
+                FormatKind::Binary16,
+                FormatKind::Binary32,
+            ],
             TypeSystem::V2 => &[
                 FormatKind::Binary8,
                 FormatKind::Binary16Alt,
@@ -189,7 +193,10 @@ mod tests {
         for kind in ALL_KINDS {
             assert_eq!(FormatKind::of_format(kind.format()), Some(kind));
         }
-        assert_eq!(FormatKind::of_format(crate::FpFormat::new(7, 12).unwrap()), None);
+        assert_eq!(
+            FormatKind::of_format(crate::FpFormat::new(7, 12).unwrap()),
+            None
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod tests {
         // Exact halfway (guard set, sticky clear): round to even.
         assert!(!rne.round_up(false, false, true, false)); // lsb even -> stay
         assert!(rne.round_up(false, true, true, false)); // lsb odd -> up
+
         // Above halfway always rounds up.
         assert!(rne.round_up(false, false, true, true));
         // Below halfway never rounds up.

@@ -60,8 +60,11 @@ impl FpFormat {
         if !rounded.is_finite() {
             return None;
         }
-        if FloatClass::of_bits(self, self.round_from_f64(x, crate::RoundingMode::NearestEven).bits)
-            == FloatClass::Zero
+        if FloatClass::of_bits(
+            self,
+            self.round_from_f64(x, crate::RoundingMode::NearestEven)
+                .bits,
+        ) == FloatClass::Zero
             && x != 0.0
         {
             // Total underflow: error in ulps of the smallest subnormal.

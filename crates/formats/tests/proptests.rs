@@ -66,7 +66,12 @@ proptest! {
             match mode {
                 RoundingMode::NearestEven | RoundingMode::NearestAway =>
                     prop_assert!(err <= ulp / 2.0, "{} {} {:e}: err {:e} > ulp/2 {:e}", fmt, mode, x, err, ulp / 2.0),
-                _ => prop_assert!(err < ulp, "{} {} {:e}: err {:e} >= ulp {:e}", fmt, mode, x, err, ulp),
+                // The exact error of directed rounding is strictly below one
+                // ulp, but `err` is itself computed in f64: when |x| is many
+                // orders of magnitude below ulp (e.g. x ~ 1e-64 rounding up to
+                // the 1e-40 min subnormal), `v - x` rounds to exactly ulp. The
+                // tight bound on the *computed* error is therefore `<=`.
+                _ => prop_assert!(err <= ulp, "{} {} {:e}: err {:e} > ulp {:e}", fmt, mode, x, err, ulp),
             }
         }
     }

@@ -156,7 +156,9 @@ mod tests {
     fn image_in_binary8_is_usable_at_loose_quality() {
         let app = Conv::small();
         let reference = app.reference(0);
-        let cfg = TypeConfig::baseline().with("image", BINARY8).with("coeff", BINARY16ALT);
+        let cfg = TypeConfig::baseline()
+            .with("image", BINARY8)
+            .with("coeff", BINARY16ALT);
         let out = app.run(&cfg, 0);
         let err = relative_rms_error(&reference, &out);
         assert!(err < 0.1, "{err}");
@@ -177,6 +179,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let app = Conv::small();
-        assert_eq!(app.run(&TypeConfig::baseline(), 0), app.run(&TypeConfig::baseline(), 0));
+        assert_eq!(
+            app.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 0)
+        );
     }
 }

@@ -63,7 +63,10 @@ impl Tunable for Dwt {
 
     fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
         let n = self.n;
-        assert!(n % (1 << self.levels) == 0, "image side must be divisible by 2^levels");
+        assert!(
+            n.is_multiple_of(1 << self.levels),
+            "image side must be divisible by 2^levels"
+        );
         let mut image = FxArray::from_f64s(config.format_of("image"), &self.image(input_set));
         let mut tmp = FxArray::zeros(config.format_of("tmp"), n * n);
         let half = Fx::new(0.5, config.format_of("half"));

@@ -25,13 +25,19 @@ impl Jacobi {
     /// The configuration used by the experiment harness.
     #[must_use]
     pub fn paper() -> Self {
-        Jacobi { n: 24, iterations: 20 }
+        Jacobi {
+            n: 24,
+            iterations: 20,
+        }
     }
 
     /// A miniature instance for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        Jacobi { n: 8, iterations: 6 }
+        Jacobi {
+            n: 8,
+            iterations: 6,
+        }
     }
 
     fn initial_grid(&self, input_set: usize) -> Vec<f64> {
@@ -111,7 +117,10 @@ mod tests {
 
     #[test]
     fn converges_toward_boundary_average() {
-        let app = Jacobi { n: 8, iterations: 200 };
+        let app = Jacobi {
+            n: 8,
+            iterations: 200,
+        };
         let out = app.run(&TypeConfig::baseline(), 0);
         // After many sweeps the interior must be smooth: every interior
         // value strictly between the global min and max boundary values.
@@ -127,15 +136,23 @@ mod tests {
     #[test]
     fn deterministic_per_input_set() {
         let app = Jacobi::small();
-        assert_eq!(app.run(&TypeConfig::baseline(), 1), app.run(&TypeConfig::baseline(), 1));
-        assert_ne!(app.run(&TypeConfig::baseline(), 0), app.run(&TypeConfig::baseline(), 1));
+        assert_eq!(
+            app.run(&TypeConfig::baseline(), 1),
+            app.run(&TypeConfig::baseline(), 1)
+        );
+        assert_ne!(
+            app.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 1)
+        );
     }
 
     #[test]
     fn reduced_precision_grid_stays_close() {
         let app = Jacobi::small();
         let reference = app.reference(0);
-        let cfg = TypeConfig::baseline().with("grid", BINARY16ALT).with("next", BINARY16ALT);
+        let cfg = TypeConfig::baseline()
+            .with("grid", BINARY16ALT)
+            .with("next", BINARY16ALT);
         let out = app.run(&cfg, 0);
         let err = relative_rms_error(&reference, &out);
         assert!(err < 0.02, "binary16alt grid error: {err}");

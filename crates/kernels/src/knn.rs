@@ -29,13 +29,21 @@ impl Knn {
     /// The configuration used by the experiment harness.
     #[must_use]
     pub fn paper() -> Self {
-        Knn { points: 128, dims: 8, k: 8 }
+        Knn {
+            points: 128,
+            dims: 8,
+            k: 8,
+        }
     }
 
     /// A miniature instance for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        Knn { points: 24, dims: 4, k: 3 }
+        Knn {
+            points: 24,
+            dims: 4,
+            k: 3,
+        }
     }
 
     /// Builds `(points, query)`. Exactly `k` points form a tight cluster
@@ -49,7 +57,9 @@ impl Knn {
         let mut pts = vec![0.0f64; self.points * self.dims];
         // Deterministic scatter of the k near indices across the dataset.
         let stride = self.points / self.k;
-        let near: Vec<usize> = (0..self.k).map(|i| i * stride + (input_set % stride)).collect();
+        let near: Vec<usize> = (0..self.k)
+            .map(|i| i * stride + (input_set % stride))
+            .collect();
         for p in 0..self.points {
             let is_near = near.contains(&p);
             for d in 0..self.dims {
@@ -58,7 +68,11 @@ impl Knn {
                     uniform(&mut rng, 1, -0.5, 0.5)[0]
                 } else {
                     // Far shell: 3..6 away per dimension, random side.
-                    let side = if uniform(&mut rng, 1, 0.0, 1.0)[0] < 0.5 { -1.0 } else { 1.0 };
+                    let side = if uniform(&mut rng, 1, 0.0, 1.0)[0] < 0.5 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     side * uniform(&mut rng, 1, 3.0, 6.0)[0]
                 };
                 pts[p * self.dims + d] = query[d] + offset;
@@ -110,9 +124,9 @@ impl Tunable for Knn {
         for _ in 0..self.k {
             let mut best = usize::MAX;
             let mut best_d = Fx::new(f64::INFINITY, dist.format());
-            for p in 0..self.points {
+            for (p, &is_taken) in taken.iter().enumerate() {
                 Recorder::int_ops(2);
-                if taken[p] {
+                if is_taken {
                     continue;
                 }
                 let d = dist.get(p);
@@ -186,6 +200,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let app = Knn::small();
-        assert_eq!(app.run(&TypeConfig::baseline(), 2), app.run(&TypeConfig::baseline(), 2));
+        assert_eq!(
+            app.run(&TypeConfig::baseline(), 2),
+            app.run(&TypeConfig::baseline(), 2)
+        );
     }
 }

@@ -33,13 +33,23 @@ impl Pca {
     /// The configuration used by the experiment harness.
     #[must_use]
     pub fn paper() -> Self {
-        Pca { samples: 48, dims: 6, sweeps: 4, manual_vectorization: false }
+        Pca {
+            samples: 48,
+            dims: 6,
+            sweeps: 4,
+            manual_vectorization: false,
+        }
     }
 
     /// A miniature instance for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        Pca { samples: 16, dims: 4, sweeps: 3, manual_vectorization: false }
+        Pca {
+            samples: 16,
+            dims: 4,
+            sweeps: 3,
+            manual_vectorization: false,
+        }
     }
 
     /// Correlated synthetic data: a few latent factors plus noise, so the
@@ -158,7 +168,11 @@ impl Tunable for Pca {
                         // theta = (aqq - app) / (2 apq); t = sign/(|th|+sqrt(th^2+1)).
                         let theta = (aqq - app) * half / apq;
                         let t_mag = one / (theta.abs() + (theta * theta + one).sqrt());
-                        let t = if theta.lt(Fx::zero(rot_fmt)) { -t_mag } else { t_mag };
+                        let t = if theta.lt(Fx::zero(rot_fmt)) {
+                            -t_mag
+                        } else {
+                            t_mag
+                        };
                         let c = one / (t * t + one).sqrt();
                         let s = t * c;
                         // Rotate rows/columns p and q of cov.
@@ -230,8 +244,10 @@ mod tests {
         let mut cov = vec![0.0; d * d];
         for a in 0..d {
             for b in 0..d {
-                cov[a * d + b] =
-                    (0..n).map(|i| data[i * d + a] * data[i * d + b]).sum::<f64>() / n as f64;
+                cov[a * d + b] = (0..n)
+                    .map(|i| data[i * d + a] * data[i * d + b])
+                    .sum::<f64>()
+                    / n as f64;
             }
         }
         (data, cov)
@@ -299,7 +315,8 @@ mod tests {
     #[test]
     fn manual_vectorization_tags_loops() {
         let mut app = Pca::small();
-        let (_, scalar_counts) = flexfloat::Recorder::record(|| app.run(&TypeConfig::baseline(), 0));
+        let (_, scalar_counts) =
+            flexfloat::Recorder::record(|| app.run(&TypeConfig::baseline(), 0));
         let vec_before: u64 = scalar_counts.ops.values().map(|c| c.vector).sum();
         assert_eq!(vec_before, 0);
         app.manual_vectorization = true;
@@ -313,6 +330,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let app = Pca::small();
-        assert_eq!(app.run(&TypeConfig::baseline(), 0), app.run(&TypeConfig::baseline(), 0));
+        assert_eq!(
+            app.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 0)
+        );
     }
 }

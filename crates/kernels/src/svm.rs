@@ -28,13 +28,23 @@ impl Svm {
     /// The configuration used by the experiment harness.
     #[must_use]
     pub fn paper() -> Self {
-        Svm { support_vectors: 48, dims: 8, classes: 3, queries: 8 }
+        Svm {
+            support_vectors: 48,
+            dims: 8,
+            classes: 3,
+            queries: 8,
+        }
     }
 
     /// A miniature instance for fast tests.
     #[must_use]
     pub fn small() -> Self {
-        Svm { support_vectors: 12, dims: 4, classes: 2, queries: 3 }
+        Svm {
+            support_vectors: 12,
+            dims: 4,
+            classes: 2,
+            queries: 3,
+        }
     }
 
     /// Features are raw sensor values in the hundreds, so the kernel
@@ -165,10 +175,19 @@ mod tests {
         let reference = app.reference(0);
         let half = app.run(&TypeConfig::baseline().with("acc", BINARY16), 0);
         let err_half = relative_rms_error(&reference, &half);
-        assert!(err_half > 0.5, "binary16 accumulator must saturate: {err_half}");
-        let alt = app.run(&TypeConfig::baseline().with("acc", tp_formats::BINARY16ALT), 0);
+        assert!(
+            err_half > 0.5,
+            "binary16 accumulator must saturate: {err_half}"
+        );
+        let alt = app.run(
+            &TypeConfig::baseline().with("acc", tp_formats::BINARY16ALT),
+            0,
+        );
         let err_alt = relative_rms_error(&reference, &alt);
-        assert!(err_alt < 0.05, "binary16alt accumulator must work: {err_alt}");
+        assert!(
+            err_alt < 0.05,
+            "binary16alt accumulator must work: {err_alt}"
+        );
     }
 
     #[test]
@@ -188,7 +207,13 @@ mod tests {
     #[test]
     fn deterministic_and_set_dependent() {
         let app = Svm::small();
-        assert_eq!(app.run(&TypeConfig::baseline(), 0), app.run(&TypeConfig::baseline(), 0));
-        assert_ne!(app.run(&TypeConfig::baseline(), 0), app.run(&TypeConfig::baseline(), 1));
+        assert_eq!(
+            app.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 0)
+        );
+        assert_ne!(
+            app.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 1)
+        );
     }
 }

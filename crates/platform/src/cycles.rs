@@ -68,7 +68,11 @@ pub fn cycle_report(counts: &TraceCounts, params: &PlatformParams) -> CycleRepor
 
     for (&(from, to), oc) in &counts.casts {
         // A vector cast handles as many elements as the wider format packs.
-        let lanes = lanes_of(if from.total_bits() >= to.total_bits() { from } else { to });
+        let lanes = lanes_of(if from.total_bits() >= to.total_bits() {
+            from
+        } else {
+            to
+        });
         r.casts += oc.scalar + oc.vector.div_ceil(lanes);
     }
 
@@ -95,7 +99,10 @@ mod tests {
     use tp_formats::{BINARY16, BINARY32, BINARY8};
 
     fn params() -> PlatformParams {
-        PlatformParams { int_weight: 1.0, ..PlatformParams::paper() }
+        PlatformParams {
+            int_weight: 1.0,
+            ..PlatformParams::paper()
+        }
     }
 
     #[test]
@@ -166,7 +173,10 @@ mod tests {
     #[test]
     fn int_weight_scales_integer_cycles() {
         let (_, counts) = Recorder::record(|| Recorder::int_ops(10));
-        let p = PlatformParams { int_weight: 2.5, ..PlatformParams::paper() };
+        let p = PlatformParams {
+            int_weight: 2.5,
+            ..PlatformParams::paper()
+        };
         assert_eq!(cycle_report(&counts, &p).integer, 25);
     }
 }

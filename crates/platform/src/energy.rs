@@ -82,8 +82,7 @@ pub fn energy_report(counts: &TraceCounts, params: &PlatformParams) -> EnergyRep
         let lanes = u64::from(fk.simd_lanes());
         let scalar_datapath = fpu_op_energy(params, fk, kind);
         // Scalar issues.
-        r.fp_ops_pj +=
-            oc.scalar as f64 * (scalar_datapath + overhead + params.fpu_regmove_pj);
+        r.fp_ops_pj += oc.scalar as f64 * (scalar_datapath + overhead + params.fpu_regmove_pj);
         // Vector issues: lane-shared control amortizes datapath energy.
         let issues = oc.vector.div_ceil(lanes);
         let vector_datapath = match kind {
@@ -95,17 +94,16 @@ pub fn energy_report(counts: &TraceCounts, params: &PlatformParams) -> EnergyRep
 
     // Casts.
     for (&(from, to), oc) in &counts.casts {
-        let e = params.energy_table.conversion(from.total_bits(), to.total_bits());
+        let e = params
+            .energy_table
+            .conversion(from.total_bits(), to.total_bits());
         r.casts_pj += oc.scalar as f64 * (e + overhead + params.fpu_regmove_pj);
-        let lanes = u64::from(
-            (32 / from.total_bits().max(to.total_bits()).max(8)).max(1),
-        );
+        let lanes = u64::from((32 / from.total_bits().max(to.total_bits()).max(8)).max(1));
         let issues = oc.vector.div_ceil(lanes);
-        let ev = params.energy_table.vector_conversion(
-            from.total_bits(),
-            to.total_bits(),
-            lanes as u32,
-        );
+        let ev =
+            params
+                .energy_table
+                .vector_conversion(from.total_bits(), to.total_bits(), lanes as u32);
         r.casts_pj += issues as f64 * (ev + overhead + params.fpu_regmove_pj);
     }
 
@@ -207,6 +205,11 @@ mod tests {
         let p = PlatformParams::paper();
         let base = energy_report(&no_casts, &p);
         let cast = energy_report(&with_casts, &p);
-        assert!(cast.total() > base.total() * 1.5, "{} vs {}", cast.total(), base.total());
+        assert!(
+            cast.total() > base.total() * 1.5,
+            "{} vs {}",
+            cast.total(),
+            base.total()
+        );
     }
 }

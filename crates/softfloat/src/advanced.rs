@@ -41,6 +41,7 @@ pub fn sqrt(fmt: FpFormat, a: u64, mode: RoundingMode) -> u64 {
         Unpacked::Finite(n) => {
             let m = fmt.man_bits();
             let ns = (n.sig >> GRS) as u128; // natural significand in [2^m, 2^(m+1))
+
             // value = f * 2^E with f = ns / 2^m in [1, 2), E = n.exp.
             // Make the exponent even by folding one doubling into f.
             let (f_scaled, e) = if n.exp & 1 != 0 {
@@ -96,7 +97,7 @@ pub fn fused_mul_add(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundingMode) 
         };
     }
 
-    let m = fmt.man_bits() as u32;
+    let m = fmt.man_bits();
     let (na, nb) = match (ua, ub) {
         (Unpacked::Finite(na), Unpacked::Finite(nb)) => (na, nb),
         _ => unreachable!("zero/inf product handled above"),
@@ -118,14 +119,25 @@ pub fn fused_mul_add(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundingMode) 
             let c_exp = nc.exp;
             let csign = nc.sign;
             // Align the smaller addend, jamming lost bits into sticky.
-            let (hi_s, hi_e, hi_sig, lo_s, lo_sig) =
-                if (p_exp, p_sig) >= (c_exp, c_sig) {
-                    let d = (p_exp - c_exp) as u32;
-                    (psign, p_exp, p_sig, csign, shift_right_jam128(c_sig, d.min(127)))
-                } else {
-                    let d = (c_exp - p_exp) as u32;
-                    (csign, c_exp, c_sig, psign, shift_right_jam128(p_sig, d.min(127)))
-                };
+            let (hi_s, hi_e, hi_sig, lo_s, lo_sig) = if (p_exp, p_sig) >= (c_exp, c_sig) {
+                let d = (p_exp - c_exp) as u32;
+                (
+                    psign,
+                    p_exp,
+                    p_sig,
+                    csign,
+                    shift_right_jam128(c_sig, d.min(127)),
+                )
+            } else {
+                let d = (c_exp - p_exp) as u32;
+                (
+                    csign,
+                    c_exp,
+                    c_sig,
+                    psign,
+                    shift_right_jam128(p_sig, d.min(127)),
+                )
+            };
             if hi_s == lo_s {
                 (hi_s, hi_e, hi_sig + lo_sig)
             } else if hi_sig == lo_sig {
@@ -169,8 +181,22 @@ mod tests {
     #[test]
     fn sqrt_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, 2.0, 4.0, 0.25, 3.0, 10.0, 1e-30, 1e30, 3.4e38, 1e-45,
-            f32::INFINITY, 2.0f32.powi(-126), 1.9999999, 0.1,
+            0.0f32,
+            -0.0,
+            1.0,
+            2.0,
+            4.0,
+            0.25,
+            3.0,
+            10.0,
+            1e-30,
+            1e30,
+            3.4e38,
+            1e-45,
+            f32::INFINITY,
+            2.0f32.powi(-126),
+            1.9999999,
+            0.1,
         ];
         for &x in &vals {
             let got = sqrt(BINARY32, x.to_bits() as u64, RNE);
@@ -180,7 +206,11 @@ mod tests {
         // Negative inputs are invalid.
         for &x in &[-1.0f32, -1e-45, f32::NEG_INFINITY] {
             let got = sqrt(BINARY32, x.to_bits() as u64, RNE);
-            assert_eq!(FloatClass::of_bits(BINARY32, got), FloatClass::Nan, "sqrt({x})");
+            assert_eq!(
+                FloatClass::of_bits(BINARY32, got),
+                FloatClass::Nan,
+                "sqrt({x})"
+            );
         }
     }
 
@@ -204,8 +234,22 @@ mod tests {
     #[test]
     fn fma_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, -1.0, 1.5, 0.1, 3.4e38, -3.4e38, 1e-45, 1e-20, -7.25,
-            f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 2.0f32.powi(-126), 1.9999999,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            0.1,
+            3.4e38,
+            -3.4e38,
+            1e-45,
+            1e-20,
+            -7.25,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            2.0f32.powi(-126),
+            1.9999999,
         ];
         for &a in &vals {
             for &b in &vals {

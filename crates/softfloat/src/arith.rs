@@ -41,7 +41,11 @@ pub fn sub(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> u64 {
 
 fn add_finite(fmt: FpFormat, a: Norm, b: Norm, mode: RoundingMode) -> u64 {
     // Order so that `hi` has the larger magnitude.
-    let (hi, lo) = if (a.exp, a.sig) >= (b.exp, b.sig) { (a, b) } else { (b, a) };
+    let (hi, lo) = if (a.exp, a.sig) >= (b.exp, b.sig) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let d = (hi.exp - lo.exp) as u32;
 
     if a.sign == b.sign {
@@ -117,7 +121,7 @@ pub fn div(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> u64 {
             // Scale the dividend so the quotient has m+4 or m+5 bits.
             let scaled = ns_a << (m + 4);
             let q = (scaled / ns_b) as u64;
-            let rem = (scaled % ns_b) != 0;
+            let rem = !scaled.is_multiple_of(ns_b);
             let q_lead = 63 - q.leading_zeros() as i32; // m+3 or m+4
             let exp = na.exp - nb.exp + (q_lead - (m as i32 + 4));
             let target = (m + GRS) as i32;
@@ -140,7 +144,12 @@ mod tests {
     const RNE: RoundingMode = RoundingMode::NearestEven;
 
     /// Checks a binary op in BINARY32 against native f32 arithmetic.
-    fn check_f32(op: fn(FpFormat, u64, u64, RoundingMode) -> u64, native: fn(f32, f32) -> f32, a: f32, b: f32) {
+    fn check_f32(
+        op: fn(FpFormat, u64, u64, RoundingMode) -> u64,
+        native: fn(f32, f32) -> f32,
+        a: f32,
+        b: f32,
+    ) {
         let got = op(BINARY32, a.to_bits() as u64, b.to_bits() as u64, RNE);
         let want = native(a, b);
         if want.is_nan() {
@@ -157,8 +166,23 @@ mod tests {
     #[test]
     fn add_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, -1.0, 1.5, 0.1, 1e-40, -1e-40, 3.4e38, -3.4e38, 1e-45,
-            f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 123456.78, -0.007, 2.0f32.powi(-126),
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            0.1,
+            1e-40,
+            -1e-40,
+            3.4e38,
+            -3.4e38,
+            1e-45,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            123456.78,
+            -0.007,
+            2.0f32.powi(-126),
         ];
         for &a in &vals {
             for &b in &vals {
@@ -171,8 +195,20 @@ mod tests {
     #[test]
     fn mul_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, -3.0, 0.1, 1e-30, 1e30, 3.4e38, 1e-45, f32::INFINITY,
-            f32::NAN, 7.7e-12, 2.0f32.powi(-126), 1.9999999,
+            0.0f32,
+            -0.0,
+            1.0,
+            -3.0,
+            0.1,
+            1e-30,
+            1e30,
+            3.4e38,
+            1e-45,
+            f32::INFINITY,
+            f32::NAN,
+            7.7e-12,
+            2.0f32.powi(-126),
+            1.9999999,
         ];
         for &a in &vals {
             for &b in &vals {
@@ -184,8 +220,21 @@ mod tests {
     #[test]
     fn div_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, -3.0, 0.1, 1e-30, 1e30, 3.4e38, 1e-45, f32::INFINITY,
-            f32::NAN, 7.7e-12, 3.0, 10.0, 1.9999999,
+            0.0f32,
+            -0.0,
+            1.0,
+            -3.0,
+            0.1,
+            1e-30,
+            1e30,
+            3.4e38,
+            1e-45,
+            f32::INFINITY,
+            f32::NAN,
+            7.7e-12,
+            3.0,
+            10.0,
+            1.9999999,
         ];
         for &a in &vals {
             for &b in &vals {
@@ -272,7 +321,12 @@ mod tests {
         assert_eq!(div(BINARY16, one, nz, RNE), BINARY16.inf_bits(true));
         assert!(BINARY16.decode_to_f64(div(BINARY16, pz, pz, RNE)).is_nan());
         assert!(BINARY16
-            .decode_to_f64(div(BINARY16, BINARY16.inf_bits(false), BINARY16.inf_bits(true), RNE))
+            .decode_to_f64(div(
+                BINARY16,
+                BINARY16.inf_bits(false),
+                BINARY16.inf_bits(true),
+                RNE
+            ))
             .is_nan());
     }
 

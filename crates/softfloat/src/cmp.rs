@@ -19,7 +19,8 @@ pub enum FpOrdering {
 /// Compares two encodings of `fmt` (IEEE `compareQuiet*` semantics).
 #[must_use]
 pub fn compare(fmt: FpFormat, a: u64, b: u64) -> FpOrdering {
-    if FloatClass::of_bits(fmt, a) == FloatClass::Nan || FloatClass::of_bits(fmt, b) == FloatClass::Nan
+    if FloatClass::of_bits(fmt, a) == FloatClass::Nan
+        || FloatClass::of_bits(fmt, b) == FloatClass::Nan
     {
         return FpOrdering::Unordered;
     }
@@ -121,8 +122,17 @@ mod tests {
     #[test]
     fn compare_matches_native_f32() {
         let vals = [
-            0.0f32, -0.0, 1.0, -1.0, 0.5, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 1e-45,
-            -1e-45, 3.4e38,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            1e-45,
+            -1e-45,
+            3.4e38,
         ];
         for &a in &vals {
             for &b in &vals {

@@ -95,7 +95,13 @@ pub fn to_u32(fmt: FpFormat, bits: u64, mode: RoundingMode) -> u32 {
 
 /// Shared magnitude path: rounds `sig * 2^(exp - m - GRS)` to an unsigned
 /// integer magnitude (possibly huge — caller saturates).
-fn finite_to_unsigned_mag(fmt: FpFormat, exp: i32, sig: u64, sign: bool, mode: RoundingMode) -> u64 {
+fn finite_to_unsigned_mag(
+    fmt: FpFormat,
+    exp: i32,
+    sig: u64,
+    sign: bool,
+    mode: RoundingMode,
+) -> u64 {
     // Value magnitude is sig * 2^(exp - point) with the leading bit at
     // `point`, i.e. roughly 2^exp.
     let point = (fmt.man_bits() + GRS) as i32;
@@ -176,7 +182,11 @@ pub fn round_to_integral(fmt: FpFormat, bits: u64, mode: RoundingMode) -> u64 {
             // Re-pack the (small) integer; exact because its magnitude is
             // below 2^(man_bits) here, so every such integer is on the grid.
             let hb = 63 - int.leading_zeros() as i32;
-            let sig = if hb > point { shift_right_jam(int, (hb - point) as u32) } else { int << (point - hb) as u32 };
+            let sig = if hb > point {
+                shift_right_jam(int, (hb - point) as u32)
+            } else {
+                int << (point - hb) as u32
+            };
             round_pack(fmt, mode, n.sign, hb, sig)
         }
     }
@@ -258,7 +268,9 @@ mod tests {
     fn narrowing_matches_reference_rounding() {
         // binary32 -> each narrow format must equal round_from_f64 of the
         // decoded value, for every rounding mode.
-        let samples: Vec<u64> = (0..20_000).map(|i| (i * 214_661) & BINARY32.bits_mask()).collect();
+        let samples: Vec<u64> = (0..20_000)
+            .map(|i| (i * 214_661) & BINARY32.bits_mask())
+            .collect();
         for &bits in &samples {
             let v = BINARY32.decode_to_f64(bits);
             if v.is_nan() {
@@ -316,8 +328,22 @@ mod tests {
     #[test]
     fn to_i32_matches_native_f32_casts() {
         let vals = [
-            0.0f32, -0.0, 0.4, 0.5, 0.6, -0.5, 1.5, 2.5, -2.5, 100.7, -100.7, 2147483500.0,
-            -2147483700.0, 3e9, -3e9, 1e-40,
+            0.0f32,
+            -0.0,
+            0.4,
+            0.5,
+            0.6,
+            -0.5,
+            1.5,
+            2.5,
+            -2.5,
+            100.7,
+            -100.7,
+            2147483500.0,
+            -2147483700.0,
+            3e9,
+            -3e9,
+            1e-40,
         ];
         for &x in &vals {
             let bits = x.to_bits() as u64;
@@ -325,8 +351,14 @@ mod tests {
             assert_eq!(to_i32(BINARY32, bits, RTZ), x as i32, "({x})");
         }
         assert_eq!(to_i32(BINARY32, (f32::NAN).to_bits() as u64, RTZ), i32::MAX);
-        assert_eq!(to_i32(BINARY32, f32::INFINITY.to_bits() as u64, RTZ), i32::MAX);
-        assert_eq!(to_i32(BINARY32, f32::NEG_INFINITY.to_bits() as u64, RTZ), i32::MIN);
+        assert_eq!(
+            to_i32(BINARY32, f32::INFINITY.to_bits() as u64, RTZ),
+            i32::MAX
+        );
+        assert_eq!(
+            to_i32(BINARY32, f32::NEG_INFINITY.to_bits() as u64, RTZ),
+            i32::MIN
+        );
     }
 
     #[test]
@@ -351,7 +383,18 @@ mod tests {
 
     #[test]
     fn from_i32_matches_native() {
-        for &v in &[0i32, 1, -1, 7, -100, 16_777_216, 16_777_217, i32::MAX, i32::MIN, 33_554_433] {
+        for &v in &[
+            0i32,
+            1,
+            -1,
+            7,
+            -100,
+            16_777_216,
+            16_777_217,
+            i32::MAX,
+            i32::MIN,
+            33_554_433,
+        ] {
             let got = from_i32(BINARY32, v, RNE);
             let want = (v as f32).to_bits() as u64;
             assert_eq!(got, want, "{v}");
@@ -372,8 +415,23 @@ mod tests {
     #[test]
     fn round_to_integral_matches_native_f32() {
         let cases = [
-            0.0f32, -0.0, 0.4, 0.5, 0.6, 1.5, 2.5, -2.5, -0.5, 100.49, 1e6, -1e6, 1e30,
-            8388607.5, 0.999999, f32::INFINITY, f32::NEG_INFINITY,
+            0.0f32,
+            -0.0,
+            0.4,
+            0.5,
+            0.6,
+            1.5,
+            2.5,
+            -2.5,
+            -0.5,
+            100.49,
+            1e6,
+            -1e6,
+            1e30,
+            8388607.5,
+            0.999999,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
         ];
         for &x in &cases {
             let bits = x.to_bits() as u64;
@@ -429,15 +487,27 @@ mod tests {
         assert_eq!(to_i16(BINARY16, enc(40000.0), RTZ), i16::MAX);
         assert_eq!(to_i16(BINARY16, enc(-40000.0), RTZ), i16::MIN);
         assert_eq!(to_u16(BINARY16, enc(-1.0), RTZ), 0);
-        assert_eq!(to_i8(BINARY8, BINARY8.round_from_f64(100.0, RNE).bits, RNE), 96);
-        assert_eq!(to_i8(BINARY8, BINARY8.round_from_f64(300.0, RNE).bits, RNE), i8::MAX);
-        assert_eq!(to_u8(BINARY8, BINARY8.round_from_f64(300.0, RNE).bits, RNE), u8::MAX);
+        assert_eq!(
+            to_i8(BINARY8, BINARY8.round_from_f64(100.0, RNE).bits, RNE),
+            96
+        );
+        assert_eq!(
+            to_i8(BINARY8, BINARY8.round_from_f64(300.0, RNE).bits, RNE),
+            i8::MAX
+        );
+        assert_eq!(
+            to_u8(BINARY8, BINARY8.round_from_f64(300.0, RNE).bits, RNE),
+            u8::MAX
+        );
         assert_eq!(to_u8(BINARY8, BINARY8.zero_bits(true), RNE), 0);
     }
 
     #[test]
     fn narrow_int_from_conversions() {
-        assert_eq!(BINARY16.decode_to_f64(from_i16(BINARY16, -2048, RNE)), -2048.0);
+        assert_eq!(
+            BINARY16.decode_to_f64(from_i16(BINARY16, -2048, RNE)),
+            -2048.0
+        );
         // binary8 rounds: 100 -> nearest representable 96.
         assert_eq!(BINARY8.decode_to_f64(from_i8(BINARY8, 100, RNE)), 96.0);
         assert_eq!(BINARY8.decode_to_f64(from_i8(BINARY8, -3, RNE)), -3.0);

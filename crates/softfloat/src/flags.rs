@@ -110,7 +110,11 @@ impl fmt::Display for FlagSet {
 /// of a single +,−,×,÷ is exact or at worst correctly rounded with the same
 /// flag outcome.
 fn flags_from_exact(fmt: FpFormat, exact: f64, packed: u64, invalid: bool, dz: bool) -> FlagSet {
-    let mut flags = FlagSet { invalid, div_by_zero: dz, ..FlagSet::NONE };
+    let mut flags = FlagSet {
+        invalid,
+        div_by_zero: dz,
+        ..FlagSet::NONE
+    };
     if invalid {
         return flags;
     }
@@ -143,7 +147,10 @@ fn is_nan(fmt: FpFormat, bits: u64) -> bool {
 ///
 /// Panics if the format's mantissa is wider than 25 bits.
 pub fn add_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
-    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    assert!(
+        2 * fmt.man_bits() + 2 <= 52,
+        "flagged ops support narrow formats only"
+    );
     let bits = crate::arith::add(fmt, a, b, mode);
     if is_nan(fmt, a) || is_nan(fmt, b) {
         return (bits, FlagSet::NONE); // quiet NaN propagation raises nothing
@@ -174,7 +181,10 @@ pub fn add_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, F
 ///
 /// Panics if the format's mantissa is wider than 25 bits.
 pub fn mul_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
-    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    assert!(
+        2 * fmt.man_bits() + 2 <= 52,
+        "flagged ops support narrow formats only"
+    );
     let bits = crate::arith::mul(fmt, a, b, mode);
     if is_nan(fmt, a) || is_nan(fmt, b) {
         return (bits, FlagSet::NONE);
@@ -202,17 +212,26 @@ pub fn mul_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, F
 ///
 /// Panics if the format's mantissa is wider than 25 bits.
 pub fn div_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, FlagSet) {
-    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    assert!(
+        2 * fmt.man_bits() + 2 <= 52,
+        "flagged ops support narrow formats only"
+    );
     let bits = crate::arith::div(fmt, a, b, mode);
     if is_nan(fmt, a) || is_nan(fmt, b) {
         return (bits, FlagSet::NONE);
     }
     let (va, vb) = (fmt.decode_to_f64(a), fmt.decode_to_f64(b));
-    let invalid =
-        (va == 0.0 && vb == 0.0) || (va.is_infinite() && vb.is_infinite());
+    let invalid = (va == 0.0 && vb == 0.0) || (va.is_infinite() && vb.is_infinite());
     let div_by_zero = !invalid && vb == 0.0 && va.is_finite();
     if invalid || div_by_zero {
-        return (bits, FlagSet { invalid, div_by_zero, ..FlagSet::NONE });
+        return (
+            bits,
+            FlagSet {
+                invalid,
+                div_by_zero,
+                ..FlagSet::NONE
+            },
+        );
     }
     let exact = va / vb;
     let outcome = fmt.round_from_f64(exact, mode);
@@ -234,20 +253,35 @@ pub fn div_flagged(fmt: FpFormat, a: u64, b: u64, mode: RoundingMode) -> (u64, F
 ///
 /// Panics if the format's mantissa is wider than 25 bits.
 pub fn sqrt_flagged(fmt: FpFormat, a: u64, mode: RoundingMode) -> (u64, FlagSet) {
-    assert!(2 * fmt.man_bits() + 2 <= 52, "flagged ops support narrow formats only");
+    assert!(
+        2 * fmt.man_bits() + 2 <= 52,
+        "flagged ops support narrow formats only"
+    );
     let bits = crate::advanced::sqrt(fmt, a, mode);
     if is_nan(fmt, a) {
         return (bits, FlagSet::NONE);
     }
     let va = fmt.decode_to_f64(a);
     if va < 0.0 && va != 0.0 {
-        return (bits, FlagSet { invalid: true, ..FlagSet::NONE });
+        return (
+            bits,
+            FlagSet {
+                invalid: true,
+                ..FlagSet::NONE
+            },
+        );
     }
     // sqrt never overflows or underflows; only NX can be raised. The f64
     // sqrt is correctly rounded and 2m+2 <= 52 makes the double rounding
     // exact, so its inexactness at the narrow grid equals the flag.
     let outcome = fmt.round_from_f64(va.sqrt(), mode);
-    (bits, FlagSet { inexact: outcome.inexact, ..FlagSet::NONE })
+    (
+        bits,
+        FlagSet {
+            inexact: outcome.inexact,
+            ..FlagSet::NONE
+        },
+    )
 }
 
 #[cfg(test)]
@@ -273,7 +307,10 @@ mod tests {
         // 1.75 * 1.75 = 3.0625 -> rounds in binary8.
         let a = enc(BINARY8, 1.75);
         let (_, flags) = mul_flagged(BINARY8, a, a, RNE);
-        assert!(flags.inexact && !flags.overflow && !flags.underflow, "{flags}");
+        assert!(
+            flags.inexact && !flags.overflow && !flags.underflow,
+            "{flags}"
+        );
     }
 
     #[test]
@@ -311,7 +348,10 @@ mod tests {
         let zero = BINARY16.zero_bits(false);
         let (bits, flags) = div_flagged(BINARY16, one, zero, RNE);
         assert!(BINARY16.decode_to_f64(bits).is_infinite());
-        assert!(flags.div_by_zero && !flags.invalid && !flags.inexact, "{flags}");
+        assert!(
+            flags.div_by_zero && !flags.invalid && !flags.inexact,
+            "{flags}"
+        );
     }
 
     #[test]
@@ -327,7 +367,11 @@ mod tests {
         for bits in 0..32u32 {
             assert_eq!(FlagSet::from_bits(bits).to_bits(), bits);
         }
-        let f = FlagSet { invalid: true, inexact: true, ..FlagSet::NONE };
+        let f = FlagSet {
+            invalid: true,
+            inexact: true,
+            ..FlagSet::NONE
+        };
         assert_eq!(f.to_bits(), 0b10001);
         assert_eq!(f.to_string(), "NV|NX");
         assert_eq!(FlagSet::NONE.to_string(), "-");
@@ -336,8 +380,14 @@ mod tests {
     #[test]
     fn flags_accumulate_like_fcsr() {
         let mut fcsr = FlagSet::NONE;
-        fcsr |= FlagSet { inexact: true, ..FlagSet::NONE };
-        fcsr |= FlagSet { overflow: true, ..FlagSet::NONE };
+        fcsr |= FlagSet {
+            inexact: true,
+            ..FlagSet::NONE
+        };
+        fcsr |= FlagSet {
+            overflow: true,
+            ..FlagSet::NONE
+        };
         assert!(fcsr.inexact && fcsr.overflow && !fcsr.invalid);
     }
 

@@ -48,7 +48,11 @@ pub(crate) fn unpack(fmt: FpFormat, bits: u64) -> Unpacked {
     let (sign, exp, man) = fmt.unpack(bits);
     let m = fmt.man_bits();
     if exp == fmt.exp_field_max() {
-        return if man == 0 { Unpacked::Inf(sign) } else { Unpacked::Nan };
+        return if man == 0 {
+            Unpacked::Inf(sign)
+        } else {
+            Unpacked::Nan
+        };
     }
     if exp == 0 {
         if man == 0 {
@@ -62,7 +66,11 @@ pub(crate) fn unpack(fmt: FpFormat, bits: u64) -> Unpacked {
         return Unpacked::Finite(Norm { sign, exp: e, sig });
     }
     let sig = ((1u64 << m) | man) << GRS;
-    Unpacked::Finite(Norm { sign, exp: exp as i32 - fmt.bias(), sig })
+    Unpacked::Finite(Norm {
+        sign,
+        exp: exp as i32 - fmt.bias(),
+        sig,
+    })
 }
 
 /// Shifts `x` right by `n`, OR-ing every lost bit into the result's LSB
@@ -181,6 +189,9 @@ pub(crate) fn renormalize(fmt: FpFormat, exp: i32, sig: u64) -> (i32, u64) {
 }
 
 #[cfg(test)]
+// Binary literals here are grouped as sign_exponent_mantissa, which is the
+// readable grouping for float encodings, not equal-width byte groups.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use tp_formats::{BINARY16, BINARY32, BINARY8};
@@ -217,8 +228,14 @@ mod tests {
 
     #[test]
     fn unpack_specials() {
-        assert_eq!(unpack(BINARY8, BINARY8.zero_bits(true)), Unpacked::Zero(true));
-        assert_eq!(unpack(BINARY8, BINARY8.inf_bits(false)), Unpacked::Inf(false));
+        assert_eq!(
+            unpack(BINARY8, BINARY8.zero_bits(true)),
+            Unpacked::Zero(true)
+        );
+        assert_eq!(
+            unpack(BINARY8, BINARY8.inf_bits(false)),
+            Unpacked::Inf(false)
+        );
         assert_eq!(unpack(BINARY8, BINARY8.quiet_nan_bits()), Unpacked::Nan);
     }
 
@@ -295,7 +312,13 @@ mod tests {
         let m = BINARY8.man_bits();
         let sig = (((1u64 << (m + 1)) - 1) << GRS) | 0b100;
         assert_eq!(
-            round_pack(BINARY8, RoundingMode::NearestEven, false, BINARY8.emax(), sig),
+            round_pack(
+                BINARY8,
+                RoundingMode::NearestEven,
+                false,
+                BINARY8.emax(),
+                sig
+            ),
             BINARY8.inf_bits(false)
         );
     }

@@ -59,8 +59,8 @@ pub mod ops {
     pub use crate::arith::{add, div, mul, sub};
     pub use crate::cmp::{compare, eq, le, lt, max, min};
     pub use crate::cvt::{
-        convert, from_i16, from_i32, from_i8, from_u32, round_to_integral, to_i16, to_i32,
-        to_i8, to_u16, to_u32, to_u8,
+        convert, from_i16, from_i32, from_i8, from_u32, round_to_integral, to_i16, to_i32, to_i8,
+        to_u16, to_u32, to_u8,
     };
     pub use crate::flags::{add_flagged, div_flagged, mul_flagged, sqrt_flagged};
 }
@@ -82,19 +82,28 @@ impl SoftFloat {
     /// Wraps an existing encoding. Bits above the format width are masked off.
     #[must_use]
     pub fn from_bits(fmt: FpFormat, bits: u64) -> Self {
-        SoftFloat { fmt, bits: bits & fmt.bits_mask() }
+        SoftFloat {
+            fmt,
+            bits: bits & fmt.bits_mask(),
+        }
     }
 
     /// Rounds `x` (nearest-even) into `fmt`.
     #[must_use]
     pub fn from_f64(fmt: FpFormat, x: f64) -> Self {
-        SoftFloat { fmt, bits: fmt.round_from_f64(x, RoundingMode::NearestEven).bits }
+        SoftFloat {
+            fmt,
+            bits: fmt.round_from_f64(x, RoundingMode::NearestEven).bits,
+        }
     }
 
     /// Positive zero in `fmt`.
     #[must_use]
     pub fn zero(fmt: FpFormat) -> Self {
-        SoftFloat { fmt, bits: fmt.zero_bits(false) }
+        SoftFloat {
+            fmt,
+            bits: fmt.zero_bits(false),
+        }
     }
 
     /// The encoding bits.
@@ -139,7 +148,10 @@ impl SoftFloat {
     #[must_use]
     pub fn add_r(self, rhs: Self, mode: RoundingMode) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::add(self.fmt, self.bits, rhs.bits, mode) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::add(self.fmt, self.bits, rhs.bits, mode),
+        }
     }
 
     /// Subtraction with an explicit rounding mode.
@@ -150,7 +162,10 @@ impl SoftFloat {
     #[must_use]
     pub fn sub_r(self, rhs: Self, mode: RoundingMode) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::sub(self.fmt, self.bits, rhs.bits, mode) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::sub(self.fmt, self.bits, rhs.bits, mode),
+        }
     }
 
     /// Multiplication with an explicit rounding mode.
@@ -161,7 +176,10 @@ impl SoftFloat {
     #[must_use]
     pub fn mul_r(self, rhs: Self, mode: RoundingMode) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::mul(self.fmt, self.bits, rhs.bits, mode) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::mul(self.fmt, self.bits, rhs.bits, mode),
+        }
     }
 
     /// Division with an explicit rounding mode.
@@ -172,13 +190,19 @@ impl SoftFloat {
     #[must_use]
     pub fn div_r(self, rhs: Self, mode: RoundingMode) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::div(self.fmt, self.bits, rhs.bits, mode) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::div(self.fmt, self.bits, rhs.bits, mode),
+        }
     }
 
     /// Square root (nearest-even).
     #[must_use]
     pub fn sqrt(self) -> Self {
-        SoftFloat { fmt: self.fmt, bits: ops::sqrt(self.fmt, self.bits, RoundingMode::NearestEven) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::sqrt(self.fmt, self.bits, RoundingMode::NearestEven),
+        }
     }
 
     /// Fused multiply-add `self * b + c` with a single rounding
@@ -193,7 +217,13 @@ impl SoftFloat {
         self.check_same(c);
         SoftFloat {
             fmt: self.fmt,
-            bits: ops::fused_mul_add(self.fmt, self.bits, b.bits, c.bits, RoundingMode::NearestEven),
+            bits: ops::fused_mul_add(
+                self.fmt,
+                self.bits,
+                b.bits,
+                c.bits,
+                RoundingMode::NearestEven,
+            ),
         }
     }
 
@@ -221,19 +251,28 @@ impl SoftFloat {
     /// Builds a value from an `i32` (nearest-even).
     #[must_use]
     pub fn from_i32(fmt: FpFormat, v: i32) -> Self {
-        SoftFloat { fmt, bits: ops::from_i32(fmt, v, RoundingMode::NearestEven) }
+        SoftFloat {
+            fmt,
+            bits: ops::from_i32(fmt, v, RoundingMode::NearestEven),
+        }
     }
 
     /// Builds a value from a `u32` (nearest-even).
     #[must_use]
     pub fn from_u32(fmt: FpFormat, v: u32) -> Self {
-        SoftFloat { fmt, bits: ops::from_u32(fmt, v, RoundingMode::NearestEven) }
+        SoftFloat {
+            fmt,
+            bits: ops::from_u32(fmt, v, RoundingMode::NearestEven),
+        }
     }
 
     /// Absolute value (sign-bit clear; exact).
     #[must_use]
     pub fn abs(self) -> Self {
-        SoftFloat { fmt: self.fmt, bits: self.bits & (self.fmt.bits_mask() >> 1) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: self.bits & (self.fmt.bits_mask() >> 1),
+        }
     }
 
     /// RISC-V `fmin`: NaN loses to a number, `-0 < +0`.
@@ -244,7 +283,10 @@ impl SoftFloat {
     #[must_use]
     pub fn min(self, rhs: Self) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::min(self.fmt, self.bits, rhs.bits) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::min(self.fmt, self.bits, rhs.bits),
+        }
     }
 
     /// RISC-V `fmax`: NaN loses to a number, `-0 < +0`.
@@ -255,7 +297,10 @@ impl SoftFloat {
     #[must_use]
     pub fn max(self, rhs: Self) -> Self {
         self.check_same(rhs);
-        SoftFloat { fmt: self.fmt, bits: ops::max(self.fmt, self.bits, rhs.bits) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: ops::max(self.fmt, self.bits, rhs.bits),
+        }
     }
 
     /// Full IEEE comparison (quiet).
@@ -310,7 +355,10 @@ impl Div for SoftFloat {
 impl Neg for SoftFloat {
     type Output = SoftFloat;
     fn neg(self) -> Self {
-        SoftFloat { fmt: self.fmt, bits: self.bits ^ (1u64 << self.fmt.sign_shift()) }
+        SoftFloat {
+            fmt: self.fmt,
+            bits: self.bits ^ (1u64 << self.fmt.sign_shift()),
+        }
     }
 }
 

@@ -74,7 +74,9 @@ impl EnergyTable {
     #[must_use]
     pub fn vector_conversion(&self, from_bits: u32, to_bits: u32, lanes: u32) -> f64 {
         let lanes = lanes as f64;
-        self.conversion(from_bits, to_bits) * lanes * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes)
+        self.conversion(from_bits, to_bits)
+            * lanes
+            * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes)
     }
 }
 
@@ -107,7 +109,10 @@ mod tests {
             let e16 = t.scalar_arith(op, Binary16);
             let e16a = t.scalar_arith(op, Binary16Alt);
             let e8 = t.scalar_arith(op, Binary8);
-            assert!(e8 < e16a && e16a < e16 && e16 < e32, "{op}: {e8} {e16a} {e16} {e32}");
+            assert!(
+                e8 < e16a && e16a < e16 && e16 < e32,
+                "{op}: {e8} {e16a} {e16} {e32}"
+            );
         }
     }
 
@@ -118,8 +123,16 @@ mod tests {
         let e32 = t.scalar_arith(ArithOp::Mul, Binary32);
         let e16 = t.scalar_arith(ArithOp::Mul, Binary16);
         let e8 = t.scalar_arith(ArithOp::Mul, Binary8);
-        assert!(e8 / e32 < 0.34, "8-bit mul saves at least 66%: {}", e8 / e32);
-        assert!(e16 / e32 < 0.70, "16-bit mul saves at least 30%: {}", e16 / e32);
+        assert!(
+            e8 / e32 < 0.34,
+            "8-bit mul saves at least 66%: {}",
+            e8 / e32
+        );
+        assert!(
+            e16 / e32 < 0.70,
+            "16-bit mul saves at least 30%: {}",
+            e16 / e32
+        );
     }
 
     #[test]
@@ -127,9 +140,7 @@ mod tests {
         // binary16alt (m=8) multiplies cheaper than binary16 (m=11) despite
         // the wider exponent — the paper's hardware argument for the format.
         let t = EnergyTable::paper();
-        assert!(
-            t.scalar_arith(ArithOp::Mul, Binary16Alt) < t.scalar_arith(ArithOp::Mul, Binary16)
-        );
+        assert!(t.scalar_arith(ArithOp::Mul, Binary16Alt) < t.scalar_arith(ArithOp::Mul, Binary16));
     }
 
     #[test]
@@ -144,7 +155,10 @@ mod tests {
             assert!(vector > t.scalar_arith(ArithOp::Add, fmt));
         }
         // Single-lane "vector" is exactly scalar.
-        assert_eq!(t.vector_arith(ArithOp::Add, Binary32), t.scalar_arith(ArithOp::Add, Binary32));
+        assert_eq!(
+            t.vector_arith(ArithOp::Add, Binary32),
+            t.scalar_arith(ArithOp::Add, Binary32)
+        );
     }
 
     #[test]

@@ -68,9 +68,16 @@ mod tests {
             "binary16alt mul"
         );
         assert_eq!(
-            FpuOp::CvtFF { from: FormatKind::Binary32, to: FormatKind::Binary8 }.to_string(),
+            FpuOp::CvtFF {
+                from: FormatKind::Binary32,
+                to: FormatKind::Binary8
+            }
+            .to_string(),
             "binary32 -> binary8"
         );
-        assert_eq!(FpuOp::CvtFI(FormatKind::Binary16).to_string(), "binary16 -> int32");
+        assert_eq!(
+            FpuOp::CvtFI(FormatKind::Binary16).to_string(),
+            "binary16 -> int32"
+        );
     }
 }

@@ -61,13 +61,19 @@ impl SmallFloatUnit {
     /// A unit with the default (paper-calibrated) energy table.
     #[must_use]
     pub fn new() -> Self {
-        SmallFloatUnit { energy: EnergyTable::paper(), stats: FpuStats::default() }
+        SmallFloatUnit {
+            energy: EnergyTable::paper(),
+            stats: FpuStats::default(),
+        }
     }
 
     /// A unit with a custom energy table.
     #[must_use]
     pub fn with_energy(energy: EnergyTable) -> Self {
-        SmallFloatUnit { energy, stats: FpuStats::default() }
+        SmallFloatUnit {
+            energy,
+            stats: FpuStats::default(),
+        }
     }
 
     /// The accumulated statistics.
@@ -105,7 +111,12 @@ impl SmallFloatUnit {
         let latency = SliceKind::hosting(fmt).arith_latency();
         let energy = self.energy.scalar_arith(op, fmt);
         self.account(latency, energy);
-        Issue { lanes: vec![bits], latency, energy_pj: energy, activity: SliceActivity::scalar(fmt) }
+        Issue {
+            lanes: vec![bits],
+            latency,
+            energy_pj: energy,
+            activity: SliceActivity::scalar(fmt),
+        }
     }
 
     /// Issues a vector (sub-word SIMD) arithmetic operation across all
@@ -134,7 +145,12 @@ impl SmallFloatUnit {
         let latency = SliceKind::hosting(fmt).arith_latency();
         let energy = self.energy.vector_arith(op, fmt);
         self.account(latency, energy);
-        Issue { lanes: out, latency, energy_pj: energy, activity: SliceActivity::vector(fmt) }
+        Issue {
+            lanes: out,
+            latency,
+            energy_pj: energy,
+            activity: SliceActivity::vector(fmt),
+        }
     }
 
     /// Issues an FP → FP conversion (one cycle).
@@ -144,7 +160,11 @@ impl SmallFloatUnit {
         let energy = self.energy.conversion(from.width_bits(), to.width_bits());
         self.account(latency, energy);
         // Conversions ride the wider of the two slices.
-        let host = if from.width_bits() >= to.width_bits() { from } else { to };
+        let host = if from.width_bits() >= to.width_bits() {
+            from
+        } else {
+            to
+        };
         Issue {
             lanes: vec![out],
             latency,
@@ -176,7 +196,12 @@ impl SmallFloatUnit {
         let latency = SliceKind::conversion_latency();
         let energy = self.energy.conversion(32, fmt.width_bits());
         self.account(latency, energy);
-        Issue { lanes: vec![out], latency, energy_pj: energy, activity: SliceActivity::scalar(fmt) }
+        Issue {
+            lanes: vec![out],
+            latency,
+            energy_pj: energy,
+            activity: SliceActivity::scalar(fmt),
+        }
     }
 
     /// Issues an FP16/FP16alt → int16 conversion (the Fig. 3 narrow
@@ -203,7 +228,12 @@ impl SmallFloatUnit {
         let latency = SliceKind::conversion_latency();
         let energy = self.energy.conversion(16, fmt.width_bits());
         self.account(latency, energy);
-        Issue { lanes: vec![out], latency, energy_pj: energy, activity: SliceActivity::scalar(fmt) }
+        Issue {
+            lanes: vec![out],
+            latency,
+            energy_pj: energy,
+            activity: SliceActivity::scalar(fmt),
+        }
     }
 
     /// Issues an FP8 → int8 conversion (the Fig. 3 block on the 8-bit
@@ -230,7 +260,12 @@ impl SmallFloatUnit {
         let latency = SliceKind::conversion_latency();
         let energy = self.energy.conversion(8, fmt.width_bits());
         self.account(latency, energy);
-        Issue { lanes: vec![out], latency, energy_pj: energy, activity: SliceActivity::scalar(fmt) }
+        Issue {
+            lanes: vec![out],
+            latency,
+            energy_pj: energy,
+            activity: SliceActivity::scalar(fmt),
+        }
     }
 }
 
@@ -381,10 +416,17 @@ mod tests {
     #[test]
     fn conversions_round_correctly() {
         let mut fpu = SmallFloatUnit::new();
-        let wide = BINARY32.round_from_f64(3.14159, RoundingMode::NearestEven).bits;
+        let wide = BINARY32
+            .round_from_f64(std::f64::consts::PI, RoundingMode::NearestEven)
+            .bits;
         let narrow = fpu.convert(Binary32, Binary8, wide);
         assert_eq!(BINARY8.decode_to_f64(narrow.lanes[0]), 3.0);
-        let (i, _) = fpu.to_int(Binary16, BINARY16.round_from_f64(42.6, RoundingMode::NearestEven).bits);
+        let (i, _) = fpu.to_int(
+            Binary16,
+            BINARY16
+                .round_from_f64(42.6, RoundingMode::NearestEven)
+                .bits,
+        );
         assert_eq!(i, 43);
         let f = fpu.from_int(Binary8, 300);
         assert_eq!(BINARY8.decode_to_f64(f.lanes[0]), 320.0);
@@ -393,7 +435,9 @@ mod tests {
     #[test]
     fn narrow_int_conversion_blocks() {
         let mut fpu = SmallFloatUnit::new();
-        let h = BINARY16.round_from_f64(1234.4, RoundingMode::NearestEven).bits;
+        let h = BINARY16
+            .round_from_f64(1234.4, RoundingMode::NearestEven)
+            .bits;
         let (v, issue) = fpu.to_int16(Binary16, h);
         assert_eq!(v, 1234);
         assert_eq!(issue.latency, 1);
@@ -405,7 +449,9 @@ mod tests {
         let (v, issue) = fpu.to_int8(Binary8, b);
         assert_eq!(v, 96);
         assert_eq!(issue.activity.slice8, 1);
-        let big = BINARY8.round_from_f64(500.0, RoundingMode::NearestEven).bits;
+        let big = BINARY8
+            .round_from_f64(500.0, RoundingMode::NearestEven)
+            .bits;
         assert_eq!(fpu.to_int8(Binary8, big).0, i8::MAX); // saturates
         let back = fpu.from_int8(Binary8, -96);
         assert_eq!(BINARY8.decode_to_f64(back.lanes[0]), -96.0);
@@ -441,10 +487,16 @@ mod tests {
     fn modes_table_is_complete() {
         let rows = operation_modes(&EnergyTable::paper());
         // 4 formats * 3 arith scalar + 3 formats * 3 vector = 12 + 9 = 21.
-        let arith = rows.iter().filter(|r| matches!(r.op, FpuOp::Arith(..))).count();
+        let arith = rows
+            .iter()
+            .filter(|r| matches!(r.op, FpuOp::Arith(..)))
+            .count();
         assert_eq!(arith, 21);
         // 12 FP->FP pairs + 4 F2I + 4 I2F = 20 conversions.
-        let cvt = rows.iter().filter(|r| !matches!(r.op, FpuOp::Arith(..))).count();
+        let cvt = rows
+            .iter()
+            .filter(|r| !matches!(r.op, FpuOp::Arith(..)))
+            .count();
         assert_eq!(cvt, 20);
         // Every vector row beats its scalar sibling per element.
         for v in rows.iter().filter(|r| r.vector) {
@@ -452,7 +504,11 @@ mod tests {
                 .iter()
                 .find(|r| r.op == v.op && !r.vector)
                 .expect("scalar sibling exists");
-            assert!(v.energy_per_element_pj < s.energy_per_element_pj, "{}", v.op);
+            assert!(
+                v.energy_per_element_pj < s.energy_per_element_pj,
+                "{}",
+                v.op
+            );
         }
     }
 }

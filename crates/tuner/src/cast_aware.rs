@@ -22,6 +22,9 @@ use crate::report::validated_storage_config;
 use crate::search::TuningOutcome;
 use crate::tunable::Tunable;
 
+/// One accepted re-typing move: `(variable, from, to)`.
+pub type RetypeMove = (String, FormatKind, FormatKind);
+
 /// Result of a cast-aware refinement pass.
 #[derive(Debug, Clone)]
 pub struct CastAwareOutcome {
@@ -37,7 +40,7 @@ pub struct CastAwareOutcome {
     /// Cast instructions executed after refinement.
     pub final_casts: u64,
     /// Accepted re-typing moves, as `(variable, from, to)`.
-    pub moves: Vec<(String, FormatKind, FormatKind)>,
+    pub moves: Vec<RetypeMove>,
 }
 
 impl CastAwareOutcome {
@@ -70,7 +73,10 @@ fn cost_of(
     let ((), counts) = Recorder::record(|| {
         let _ = app.run(cfg, 0);
     });
-    Some((evaluate(&counts, params).energy.total(), counts.total_casts()))
+    Some((
+        evaluate(&counts, params).energy.total(),
+        counts.total_casts(),
+    ))
 }
 
 /// Refines the storage mapping of `outcome` by cast-aware greedy descent on
@@ -91,17 +97,15 @@ pub fn cast_aware_refine(
 ) -> CastAwareOutcome {
     let input_sets = input_sets.max(1);
     let mut cfg = validated_storage_config(app, outcome, ts, input_sets);
-    let (initial_energy, initial_casts) =
-        cost_of(app, &cfg, outcome.threshold, input_sets, params)
-            .expect("validated starting configuration meets the threshold");
+    let (initial_energy, initial_casts) = cost_of(app, &cfg, outcome.threshold, input_sets, params)
+        .expect("validated starting configuration meets the threshold");
 
     let mut best_energy = initial_energy;
     let mut casts = initial_casts;
     let mut moves = Vec::new();
 
     for _ in 0..8 {
-        let mut round_best: Option<(TypeConfig, f64, u64, (String, FormatKind, FormatKind))> =
-            None;
+        let mut round_best: Option<(TypeConfig, f64, u64, RetypeMove)> = None;
         for v in &outcome.vars {
             let current = cfg.format_of(v.spec.name);
             let current_kind = match FormatKind::of_format(current) {
@@ -117,8 +121,8 @@ pub fn cast_aware_refine(
                 if let Some((energy, n_casts)) =
                     cost_of(app, &candidate, outcome.threshold, input_sets, params)
                 {
-                    let improves = energy
-                        < round_best.as_ref().map_or(best_energy, |(_, e, _, _)| *e);
+                    let improves =
+                        energy < round_best.as_ref().map_or(best_energy, |(_, e, _, _)| *e);
                     if improves {
                         round_best = Some((
                             candidate,
@@ -173,7 +177,9 @@ mod tests {
         fn run(&self, cfg: &TypeConfig, set: usize) -> Vec<f64> {
             let weights = FxArray::from_f64s(
                 cfg.format_of("weights"),
-                &(0..16).map(|i| 1.0 + 0.25 * ((i + set) % 3) as f64).collect::<Vec<_>>(),
+                &(0..16)
+                    .map(|i| 1.0 + 0.25 * ((i + set) % 3) as f64)
+                    .collect::<Vec<_>>(),
             );
             let state = FxArray::from_f64s(
                 cfg.format_of("state"),
@@ -191,10 +197,12 @@ mod tests {
     #[test]
     fn refinement_never_hurts_and_respects_quality() {
         let params = PlatformParams::paper();
-        let search = SearchParams { input_sets: 2, ..SearchParams::paper(1e-3) };
+        let search = SearchParams {
+            input_sets: 2,
+            ..SearchParams::paper(1e-3)
+        };
         let outcome = distributed_search(&CastTrap, search);
-        let refined =
-            cast_aware_refine(&CastTrap, &outcome, TypeSystem::V2, &params, 2);
+        let refined = cast_aware_refine(&CastTrap, &outcome, TypeSystem::V2, &params, 2);
         assert!(refined.final_energy_pj <= refined.initial_energy_pj);
         // The refined config still satisfies the threshold.
         for set in 0..2 {

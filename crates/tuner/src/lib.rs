@@ -54,6 +54,8 @@ mod tunable;
 
 pub use cast_aware::{cast_aware_refine, CastAwareOutcome};
 pub use metrics::{max_relative_error, relative_rms_error, sqnr_db};
-pub use report::{classify_variables, storage_config, validated_storage_config, PrecisionHistogram};
+pub use report::{
+    classify_variables, storage_config, validated_storage_config, PrecisionHistogram,
+};
 pub use search::{distributed_search, eval_format, SearchParams, TunedVar, TuningOutcome};
 pub use tunable::Tunable;

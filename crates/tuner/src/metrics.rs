@@ -73,7 +73,11 @@ pub fn max_relative_error(reference: &[f64], actual: &[f64], tiny: f64) -> f64 {
         if !r.is_finite() {
             continue;
         }
-        let err = if r.abs() > tiny { ((r - a) / r).abs() } else { (r - a).abs() };
+        let err = if r.abs() > tiny {
+            ((r - a) / r).abs()
+        } else {
+            (r - a).abs()
+        };
         worst = worst.max(err);
     }
     worst
@@ -107,7 +111,10 @@ mod tests {
         let r = [1.0, 2.0];
         assert_eq!(relative_rms_error(&r, &[1.0, f64::INFINITY]), f64::INFINITY);
         assert_eq!(relative_rms_error(&r, &[f64::NAN, 2.0]), f64::INFINITY);
-        assert_eq!(max_relative_error(&r, &[1.0, f64::NAN], 1e-12), f64::INFINITY);
+        assert_eq!(
+            max_relative_error(&r, &[1.0, f64::NAN], 1e-12),
+            f64::INFINITY
+        );
     }
 
     #[test]

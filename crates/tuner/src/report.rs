@@ -107,12 +107,16 @@ pub fn validated_storage_config(
     let threshold = outcome.threshold;
 
     let promote = |fmt: tp_formats::FpFormat| -> Option<FormatKind> {
-        [FormatKind::Binary16Alt, FormatKind::Binary16, FormatKind::Binary32]
-            .into_iter()
-            .find(|k| {
-                let f = k.format();
-                f.man_bits() > fmt.man_bits() && f.exp_bits() >= fmt.exp_bits()
-            })
+        [
+            FormatKind::Binary16Alt,
+            FormatKind::Binary16,
+            FormatKind::Binary32,
+        ]
+        .into_iter()
+        .find(|k| {
+            let f = k.format();
+            f.man_bits() > fmt.man_bits() && f.exp_bits() >= fmt.exp_bits()
+        })
     };
 
     for set in 0..input_sets.max(1) {
@@ -210,6 +214,7 @@ mod tests {
         let c = classify_variables(&outcome(), TypeSystem::V1);
         assert_eq!(c.get(&FormatKind::Binary8), Some(&1)); // a
         assert_eq!(c.get(&FormatKind::Binary16), Some(&2)); // b, c
+
         // d (precision) and e (wide range, no 8-exp 16-bit format) fall to 32.
         assert_eq!(c.get(&FormatKind::Binary32), Some(&2));
     }

@@ -144,7 +144,10 @@ impl<'a> SearchState<'a> {
     fn config(&self) -> TypeConfig {
         let mut cfg = TypeConfig::baseline();
         for (i, v) in self.vars.iter().enumerate() {
-            cfg.set(v.name, eval_format(self.params.type_system, self.precision[i], self.wide[i]));
+            cfg.set(
+                v.name,
+                eval_format(self.params.type_system, self.precision[i], self.wide[i]),
+            );
         }
         cfg
     }
@@ -209,7 +212,9 @@ impl<'a> SearchState<'a> {
                 .filter(|&i| self.precision[i] < self.params.max_precision)
                 .min_by_key(|&i| self.precision[i]);
             match candidate {
-                Some(i) => self.precision[i] = (self.precision[i] + 2).min(self.params.max_precision),
+                Some(i) => {
+                    self.precision[i] = (self.precision[i] + 2).min(self.params.max_precision)
+                }
                 None => break, // everything is at maximum already
             }
         }
@@ -347,11 +352,19 @@ mod tests {
     fn loose_threshold_drives_precisions_down() {
         let outcome = distributed_search(
             &TwoVars,
-            SearchParams { input_sets: 2, ..SearchParams::paper(1e-1) },
+            SearchParams {
+                input_sets: 2,
+                ..SearchParams::paper(1e-1)
+            },
         );
         // At 10% error both variables can be tiny.
         for v in &outcome.vars {
-            assert!(v.precision_bits <= 4, "{}: {}", v.spec.name, v.precision_bits);
+            assert!(
+                v.precision_bits <= 4,
+                "{}: {}",
+                v.spec.name,
+                v.precision_bits
+            );
         }
     }
 
@@ -359,20 +372,34 @@ mod tests {
     fn tight_threshold_keeps_delta_precise() {
         let outcome = distributed_search(
             &TwoVars,
-            SearchParams { input_sets: 2, ..SearchParams::paper(1e-4) },
+            SearchParams {
+                input_sets: 2,
+                ..SearchParams::paper(1e-4)
+            },
         );
         let delta = outcome.var("delta").unwrap();
         let x = outcome.var("x").unwrap();
         // delta = 1 + 2^-9 needs ~10 significand bits to even exist.
-        assert!(delta.precision_bits >= 10, "delta: {}", delta.precision_bits);
+        assert!(
+            delta.precision_bits >= 10,
+            "delta: {}",
+            delta.precision_bits
+        );
         // x values are coarse (halves); they need far fewer bits than delta.
-        assert!(x.precision_bits < delta.precision_bits, "x: {}", x.precision_bits);
+        assert!(
+            x.precision_bits < delta.precision_bits,
+            "x: {}",
+            x.precision_bits
+        );
     }
 
     #[test]
     fn outcome_satisfies_threshold_on_all_sets() {
         for threshold in [1e-1, 1e-2, 1e-3] {
-            let params = SearchParams { input_sets: 3, ..SearchParams::paper(threshold) };
+            let params = SearchParams {
+                input_sets: 3,
+                ..SearchParams::paper(threshold)
+            };
             let outcome = distributed_search(&TwoVars, params);
             let cfg = outcome.eval_config();
             for set in 0..3 {
@@ -410,14 +437,21 @@ mod tests {
     fn wide_range_is_detected() {
         let outcome = distributed_search(
             &WideRange,
-            SearchParams { input_sets: 2, ..SearchParams::paper(1e-1) },
+            SearchParams {
+                input_sets: 2,
+                ..SearchParams::paper(1e-1)
+            },
         );
         let v = outcome.var("big").unwrap();
         // Low precision suffices, but a 5-bit exponent saturates at ~57344/65504,
         // so the search must either flag wide-range or land in an 8-bit-exponent
         // interval.
         let fmt = v.eval_format(TypeSystem::V2);
-        assert_eq!(fmt.exp_bits(), 8, "evaluation format must have binary32 range");
+        assert_eq!(
+            fmt.exp_bits(),
+            8,
+            "evaluation format must have binary32 range"
+        );
         assert!(v.precision_bits <= 8, "precision: {}", v.precision_bits);
     }
 

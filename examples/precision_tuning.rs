@@ -16,7 +16,10 @@ use tp_tuner::{
 fn main() {
     let app = Conv::paper();
     let threshold = 1e-2;
-    println!("Transprecision programming flow on {} (threshold {threshold:.0e})\n", app.name());
+    println!(
+        "Transprecision programming flow on {} (threshold {threshold:.0e})\n",
+        app.name()
+    );
 
     // Step 1: the application is already instrumented — its FP variables are
     // declared and run under per-variable formats.
@@ -27,13 +30,20 @@ fn main() {
 
     // Step 2: precision tuning.
     let outcome = distributed_search(&app, SearchParams::paper(threshold));
-    println!("\nstep 2: DistributedSearch ({} program evaluations)", outcome.evaluations);
+    println!(
+        "\nstep 2: DistributedSearch ({} program evaluations)",
+        outcome.evaluations
+    );
     for v in &outcome.vars {
         println!(
             "  {:>6} -> {:>2} precision bits{}",
             v.spec.name,
             v.precision_bits,
-            if v.needs_wide_range { " (wide range)" } else { "" }
+            if v.needs_wide_range {
+                " (wide range)"
+            } else {
+                ""
+            }
         );
     }
 

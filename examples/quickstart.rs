@@ -38,7 +38,10 @@ fn main() {
     let a = Binary8::from(1.2); // rounds to 1.25
     let b = Binary8::from(3.3); // rounds to 3.5
     println!("  binary8(1.2) = {a}, binary8(3.3) = {b}");
-    println!("  product      = {} (exact 4.375 rounds to the 3-bit grid)", a * b);
+    println!(
+        "  product      = {} (exact 4.375 rounds to the 3-bit grid)",
+        a * b
+    );
 
     // The same computation in binary16alt keeps more precision:
     let wa: Binary16Alt = a.cast_to();
@@ -48,7 +51,10 @@ fn main() {
     // ----- Range vs precision ----------------------------------------------
     println!("Range vs precision (the binary16 / binary16alt trade-off):");
     let big = 100_000.0f64;
-    println!("  binary16   (100000) = {} (saturates at 65504)", Binary16::from(big));
+    println!(
+        "  binary16   (100000) = {} (saturates at 65504)",
+        Binary16::from(big)
+    );
     println!(
         "  binary16alt(100000) = {} (binary32 range, 8-bit mantissa)\n",
         Binary16Alt::from(big)
@@ -62,7 +68,7 @@ fn main() {
         let mut acc = Binary32::from(0.0);
         for (&x, &w) in xs.iter().zip(&ws) {
             let p = Binary8::from(x) * Binary8::from(w);
-            acc = acc + p.cast_to();
+            acc += p.cast_to();
         }
         acc
     });
@@ -73,7 +79,10 @@ fn main() {
         counts.fp_ops_in(tp_formats::BINARY8)
     );
     println!("  casts       = {}", counts.total_casts());
-    println!("  sub-32-bit share = {:.0}%", counts.small_format_op_share() * 100.0);
+    println!(
+        "  sub-32-bit share = {:.0}%",
+        counts.small_format_op_share() * 100.0
+    );
 
     // ----- SIMD geometry ----------------------------------------------------
     println!("\nSIMD lanes on the 32-bit transprecision FPU datapath:");

@@ -28,22 +28,32 @@ fn main() {
     );
 
     // ----- 4-lane binary8 SIMD add ------------------------------------------
-    let xs: Vec<u64> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| enc(BINARY8, v)).collect();
+    let xs: Vec<u64> = [1.0, 2.0, 3.0, 4.0]
+        .iter()
+        .map(|&v| enc(BINARY8, v))
+        .collect();
     let ys: Vec<u64> = [0.5; 4].iter().map(|&v| enc(BINARY8, v)).collect();
     let issue = fpu.vector(ArithOp::Add, FormatKind::Binary8, &xs, &ys);
-    let vals: Vec<f64> = issue.lanes.iter().map(|&l| BINARY8.decode_to_f64(l)).collect();
+    let vals: Vec<f64> = issue
+        .lanes
+        .iter()
+        .map(|&l| BINARY8.decode_to_f64(l))
+        .collect();
     println!(
         "vector binary8 add:  {vals:?} (latency {} cycle, {:.2} pJ for 4 elements)",
         issue.latency, issue.energy_pj
     );
-    let scalar_cost = 4.0 * fpu.energy_table().scalar_arith(ArithOp::Add, FormatKind::Binary8);
+    let scalar_cost = 4.0
+        * fpu
+            .energy_table()
+            .scalar_arith(ArithOp::Add, FormatKind::Binary8);
     println!(
         "                     vs {scalar_cost:.2} pJ as four scalar issues ({:.0}% saved)",
         100.0 * (1.0 - issue.energy_pj / scalar_cost)
     );
 
     // ----- Conversions -------------------------------------------------------
-    let wide = enc(tp_formats::BINARY32, 3.14159);
+    let wide = enc(tp_formats::BINARY32, std::f64::consts::PI);
     let issue = fpu.convert(FormatKind::Binary32, FormatKind::Binary8, wide);
     println!(
         "binary32 -> binary8: {} (latency {} cycle, {:.2} pJ)",

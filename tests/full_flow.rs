@@ -6,8 +6,7 @@ use flexfloat::{Recorder, TypeConfig};
 use tp_formats::TypeSystem;
 use tp_platform::{evaluate, PlatformParams};
 use tp_tuner::{
-    distributed_search, relative_rms_error, storage_config, validated_storage_config,
-    SearchParams, Tunable,
+    distributed_search, relative_rms_error, storage_config, validated_storage_config, SearchParams,
 };
 
 /// The quality constraint must hold for the *storage-mapped* configuration
@@ -17,10 +16,12 @@ use tp_tuner::{
 fn storage_mapping_preserves_quality() {
     for app in tp_kernels::all_kernels_small() {
         for threshold in [1e-1, 1e-2] {
-            let params = SearchParams { input_sets: 2, ..SearchParams::paper(threshold) };
+            let params = SearchParams {
+                input_sets: 2,
+                ..SearchParams::paper(threshold)
+            };
             let outcome = distributed_search(app.as_ref(), params);
-            let storage =
-                validated_storage_config(app.as_ref(), &outcome, TypeSystem::V2, 2);
+            let storage = validated_storage_config(app.as_ref(), &outcome, TypeSystem::V2, 2);
             for set in 0..2 {
                 let reference = app.reference(set);
                 let out = app.run(&storage, set);
@@ -42,7 +43,10 @@ fn storage_formats_dominate_eval_formats() {
     for app in tp_kernels::all_kernels_small() {
         let outcome = distributed_search(
             app.as_ref(),
-            SearchParams { input_sets: 1, ..SearchParams::paper(1e-1) },
+            SearchParams {
+                input_sets: 1,
+                ..SearchParams::paper(1e-1)
+            },
         );
         let storage = storage_config(&outcome, TypeSystem::V2);
         for v in &outcome.vars {
@@ -75,11 +79,17 @@ fn tighter_thresholds_need_no_less_precision() {
     for app in tp_kernels::all_kernels_small() {
         let loose = distributed_search(
             app.as_ref(),
-            SearchParams { input_sets: 1, ..SearchParams::paper(1e-1) },
+            SearchParams {
+                input_sets: 1,
+                ..SearchParams::paper(1e-1)
+            },
         );
         let tight = distributed_search(
             app.as_ref(),
-            SearchParams { input_sets: 1, ..SearchParams::paper(1e-3) },
+            SearchParams {
+                input_sets: 1,
+                ..SearchParams::paper(1e-3)
+            },
         );
         let loose_total: u32 = loose.vars.iter().map(|v| v.precision_bits).sum();
         let tight_total: u32 = tight.vars.iter().map(|v| v.precision_bits).sum();

@@ -85,8 +85,14 @@ fn energy_ordering_matches_figure7() {
     let knn = find(rs, "KNN").energy_ratio();
     let jacobi = find(rs, "JACOBI").energy_ratio();
     let pca = find(rs, "PCA").energy_ratio();
-    let best = rs.iter().map(AppResult::energy_ratio).fold(f64::INFINITY, f64::min);
-    assert!(knn <= best + 0.05, "KNN must be within 5 points of the best: {knn} vs {best}");
+    let best = rs
+        .iter()
+        .map(AppResult::energy_ratio)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        knn <= best + 0.05,
+        "KNN must be within 5 points of the best: {knn} vs {best}"
+    );
     let better_than_knn = rs.iter().filter(|r| r.energy_ratio() < knn - 1e-9).count();
     assert!(better_than_knn <= 1, "KNN must rank in the top two");
     assert!((0.60..0.82).contains(&knn), "KNN {knn} (paper 70%)");
@@ -134,7 +140,10 @@ fn v2_reduces_binary32_variables() {
         for ts in [TypeSystem::V1, TypeSystem::V2] {
             let outcome = distributed_search(
                 app.as_ref(),
-                SearchParams { type_system: ts, ..SearchParams::paper(1e-1) },
+                SearchParams {
+                    type_system: ts,
+                    ..SearchParams::paper(1e-1)
+                },
             );
             let n = classify_variables(&outcome, ts)
                 .get(&FormatKind::Binary32)
@@ -190,5 +199,8 @@ fn baseline_energy_split_matches_motivation() {
         fp_shares.push((r.baseline.energy.fp_component() + r.baseline.energy.memory_pj) / total);
     }
     let avg = tp_bench::mean(&fp_shares);
-    assert!((0.40..0.60).contains(&avg), "FP-related share {avg} (paper ~0.5)");
+    assert!(
+        (0.40..0.60).contains(&avg),
+        "FP-related share {avg} (paper ~0.5)"
+    );
 }

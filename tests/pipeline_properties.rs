@@ -58,7 +58,13 @@ fn mini_strategy() -> impl Strategy<Value = MiniProgram> {
     )
         .prop_map(|(a, b, w, s, vectorize)| {
             let n = a.len();
-            MiniProgram { a, b: b[..n].to_vec(), w, s, vectorize }
+            MiniProgram {
+                a,
+                b: b[..n].to_vec(),
+                w,
+                s,
+                vectorize,
+            }
         })
 }
 

@@ -1,0 +1,127 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this in-tree
+//! stand-in implements the surface the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`/`prop_oneof!`, the [`strategy::Strategy`] trait with
+//! `prop_map`, [`strategy::Just`], `any::<T>()`, tuple strategies, and
+//! numeric range strategies.
+//!
+//! Differences from the real crate: no shrinking (the `prop_assert*`
+//! messages already embed the failing values, and the seed is printed so
+//! a failure reproduces), and float ranges mix uniform with
+//! log-magnitude sampling so small-format edge cases actually get hit.
+//! The number of cases per property defaults to 256 and can be
+//! overridden with the `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each function body runs for many generated
+/// inputs; `prop_assume!` rejections are retried, `prop_assert*!`
+/// failures abort with the generating seed. An optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` overrides the
+/// case count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!($cfg; $(#[$meta])* fn $name($($arg in $strat),+) $body);)*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one!(
+            $crate::test_runner::ProptestConfig::default();
+            $(#[$meta])* fn $name($($arg in $strat),+) $body
+        );)*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::with_config($cfg, stringify!($name));
+            while let Some(mut rng) = runner.next_case() {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                        $body
+                        Ok(())
+                    })();
+                runner.record(outcome);
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is retried with fresh inputs, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!`, but reported through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reported through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Like `assert_ne!`, but reported through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// A strategy choosing uniformly among the given strategies (which must
+/// share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,132 @@
+//! Case scheduling for [`proptest!`](crate::proptest): runs N cases,
+//! retries `prop_assume!` rejections, and panics with a reproducible
+//! seed on the first failure.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+const DEFAULT_CASES: u32 = 256;
+const MAX_REJECTS: u32 = 65_536;
+
+/// Mirrors `proptest::test_runner::Config` for the `cases` knob.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The env var only overrides the default, not an explicit
+        // `with_cases`, matching the real crate's precedence.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property: hands out per-case RNGs and records outcomes.
+pub struct TestRunner {
+    name: &'static str,
+    base_seed: u64,
+    case_seed_override: Option<u64>,
+    cases_run: u32,
+    cases_wanted: u32,
+    rejects: u32,
+    current_seed: u64,
+    exhausted: bool,
+}
+
+impl TestRunner {
+    pub fn new(name: &'static str) -> Self {
+        Self::with_config(ProptestConfig::default(), name)
+    }
+
+    pub fn with_config(config: ProptestConfig, name: &'static str) -> Self {
+        // `PROPTEST_CASE_SEED` (the value a failure panic prints, `0x`-hex
+        // or decimal) replays exactly that one case.
+        let case_seed_override = std::env::var("PROPTEST_CASE_SEED").ok().and_then(|v| {
+            let v = v.trim();
+            match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        });
+        let cases_wanted = if case_seed_override.is_some() {
+            1
+        } else {
+            config.cases
+        };
+        // Stable per-property seed so failures reproduce across runs.
+        let mut base_seed = 0x5EED_F0E5_u64;
+        for b in name.bytes() {
+            base_seed = base_seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+        }
+        TestRunner {
+            name,
+            base_seed,
+            case_seed_override,
+            cases_run: 0,
+            cases_wanted,
+            rejects: 0,
+            current_seed: 0,
+            exhausted: false,
+        }
+    }
+
+    /// The RNG for the next case, or `None` when the property has passed.
+    pub fn next_case(&mut self) -> Option<SmallRng> {
+        if self.exhausted || self.cases_run >= self.cases_wanted {
+            return None;
+        }
+        self.current_seed = self.case_seed_override.unwrap_or_else(|| {
+            self.base_seed
+                .wrapping_add((self.cases_run as u64) << 32)
+                .wrapping_add(self.rejects as u64)
+        });
+        Some(SmallRng::seed_from_u64(self.current_seed))
+    }
+
+    /// Record the outcome of the case whose RNG `next_case` handed out.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.cases_run += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                if self.rejects >= MAX_REJECTS {
+                    // Matches real proptest's behaviour of giving up rather
+                    // than silently passing a vacuous property.
+                    panic!(
+                        "proptest `{}`: too many prop_assume! rejections ({}) \
+                         after {} successful cases",
+                        self.name, self.rejects, self.cases_run
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                self.exhausted = true;
+                panic!(
+                    "proptest `{}` failed at case {} (reproduce with \
+                     PROPTEST_CASE_SEED={:#x}):\n{}",
+                    self.name, self.cases_run, self.current_seed, msg
+                );
+            }
+        }
+    }
+}
