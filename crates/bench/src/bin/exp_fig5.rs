@@ -12,6 +12,7 @@ use tp_platform::PlatformParams;
 
 fn main() {
     println!("E4: Fig. 5 — FP operation breakdown per type (s = scalar, v = vector)");
+    println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();
 
     for &threshold in &THRESHOLDS {

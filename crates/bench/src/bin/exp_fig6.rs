@@ -12,6 +12,7 @@ use tp_platform::PlatformParams;
 
 fn main() {
     println!("E5: Fig. 6 — normalized memory accesses and cycles");
+    println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();
 
     for &threshold in &THRESHOLDS {

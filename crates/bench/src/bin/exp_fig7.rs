@@ -12,6 +12,7 @@ use tp_platform::PlatformParams;
 
 fn main() {
     println!("E6: Fig. 7 — normalized energy (components vs binary32 baseline)");
+    println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();
 
     for &threshold in &THRESHOLDS {

@@ -30,6 +30,7 @@ fn suite_summary(params: &PlatformParams) -> (f64, f64, f64, bool) {
 
 fn main() {
     println!("E10: sensitivity of the Fig. 7 conclusions to calibration constants");
+    println!("workers: {}", tp_bench::effective_workers());
     println!("(threshold 1e-1; each row perturbs ONE constant, others at default)\n");
     println!(
         "{:>22} {:>7} {:>9} {:>9} {:>9} {:>9}",

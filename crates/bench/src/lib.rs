@@ -12,7 +12,8 @@ use flexfloat::{Recorder, TraceCounts, TypeConfig};
 use tp_formats::TypeSystem;
 use tp_platform::{evaluate, PlatformParams, PlatformReport};
 use tp_tuner::{
-    distributed_search, validated_storage_config, SearchParams, Tunable, TuningOutcome,
+    distributed_search, parallel_map, resolve_workers, validated_storage_config, SearchParams,
+    Tunable, TuningOutcome,
 };
 
 /// The three output-quality thresholds of the evaluation
@@ -63,20 +64,45 @@ impl AppResult {
     }
 }
 
+/// The worker count the harness will actually use: the `TP_WORKERS`
+/// environment variable if set, otherwise the machine's available
+/// parallelism. Experiment binaries print this so every run records the
+/// configuration it measured under.
+#[must_use]
+pub fn effective_workers() -> usize {
+    resolve_workers(0)
+}
+
 /// Records one run of `app` under `config` on the measurement input set.
+///
+/// Uses [`Recorder::scoped`], so it is safe on worker threads and inside an
+/// enclosing recording (which continues unharmed, blind to this run).
 #[must_use]
 pub fn record_run(app: &dyn Tunable, config: &TypeConfig) -> TraceCounts {
-    let ((), counts) = Recorder::record(|| {
+    let ((), counts) = Recorder::scoped(|| {
         let _ = app.run(config, MEASURE_SET);
     });
     counts
 }
 
 /// Tunes `app` at `threshold` and evaluates baseline + tuned runs on the
-/// platform model.
+/// platform model, with the auto worker count (`TP_WORKERS` override).
 #[must_use]
 pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) -> AppResult {
-    let search = SearchParams::paper(threshold);
+    evaluate_app_with(app, threshold, params, 0)
+}
+
+/// [`evaluate_app`] with an explicit worker count for the precision search
+/// (`0` = auto). The result is bit-identical at any worker count;
+/// [`TuningOutcome::evaluations`] aside.
+#[must_use]
+pub fn evaluate_app_with(
+    app: &dyn Tunable,
+    threshold: f64,
+    params: &PlatformParams,
+    workers: usize,
+) -> AppResult {
+    let search = SearchParams::paper(threshold).with_workers(workers);
     let outcome = distributed_search(app, search);
     let storage = validated_storage_config(app, &outcome, TypeSystem::V2, search.input_sets);
     let baseline_counts = record_run(app, &TypeConfig::baseline());
@@ -95,13 +121,37 @@ pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) 
     }
 }
 
-/// Evaluates the whole suite at one threshold.
+/// Evaluates the whole suite at one threshold, fanning the kernels out over
+/// the auto worker count (`TP_WORKERS` override).
 #[must_use]
 pub fn evaluate_suite(threshold: f64, params: &PlatformParams) -> Vec<AppResult> {
-    tp_kernels::all_kernels()
-        .iter()
-        .map(|app| evaluate_app(app.as_ref(), threshold, params))
-        .collect()
+    evaluate_suite_with(threshold, params, 0)
+}
+
+/// [`evaluate_suite`] with an explicit worker budget (`0` = auto).
+///
+/// The budget is split between the two fan-out levels: one worker per
+/// kernel first, and any surplus handed down to each kernel's precision
+/// search. Results come back in suite order and are bit-identical to the
+/// sequential evaluation at any worker count (evaluation counts aside).
+#[must_use]
+pub fn evaluate_suite_with(
+    threshold: f64,
+    params: &PlatformParams,
+    workers: usize,
+) -> Vec<AppResult> {
+    let kernels = tp_kernels::all_kernels();
+    let total = resolve_workers(workers);
+    let outer = total.min(kernels.len()).max(1);
+    // Ceiling division: a budget that does not divide evenly still reaches
+    // the per-kernel searches (8 workers / 6 kernels -> 2 per search, not
+    // 1). The transient oversubscription is at most `outer - 1` threads,
+    // which the scheduler absorbs; dropping the surplus would instead force
+    // every search sequential.
+    let inner = total.div_ceil(outer);
+    parallel_map(outer, kernels.len(), |i| {
+        evaluate_app_with(kernels[i].as_ref(), threshold, params, inner)
+    })
 }
 
 /// Formats a ratio as a percentage string (`0.876` → `" 87.6%"`).

@@ -175,6 +175,12 @@ impl TraceCounts {
     }
 
     /// Accumulates `other` into `self`.
+    ///
+    /// Merging is commutative and associative, so per-worker counts
+    /// collected with [`Recorder::scoped`] can be combined in any order
+    /// and still equal the counts a single-threaded run would have
+    /// produced (dependent-pair adjacency aside, which is per-thread by
+    /// construction).
     pub fn merge(&mut self, other: &TraceCounts) {
         for (k, v) in &other.ops {
             self.ops.entry(*k).or_default().merge(*v);
@@ -192,6 +198,32 @@ impl TraceCounts {
         for (k, v) in &other.dependent_pairs {
             self.dependent_pairs.entry(*k).or_default().merge(*v);
         }
+    }
+}
+
+impl std::ops::Add for TraceCounts {
+    type Output = TraceCounts;
+    fn add(mut self, rhs: TraceCounts) -> TraceCounts {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for TraceCounts {
+    fn add_assign(&mut self, rhs: TraceCounts) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::AddAssign<&TraceCounts> for TraceCounts {
+    fn add_assign(&mut self, rhs: &TraceCounts) {
+        self.merge(rhs);
+    }
+}
+
+impl std::iter::Sum for TraceCounts {
+    fn sum<I: Iterator<Item = TraceCounts>>(iter: I) -> TraceCounts {
+        iter.fold(TraceCounts::new(), |acc, c| acc + c)
     }
 }
 
@@ -246,10 +278,83 @@ impl Recorder {
 
     /// Runs `f` with recording enabled and returns its result together with
     /// the counts collected during the call.
+    ///
+    /// This clobbers any recording already in progress on the thread; use
+    /// [`Recorder::scoped`] when the call must compose with an enclosing
+    /// recording or run on a worker thread.
     pub fn record<T>(f: impl FnOnce() -> T) -> (T, TraceCounts) {
         Recorder::start();
         let out = f();
         (out, Recorder::stop())
+    }
+
+    /// Runs `f` in an isolated recording scope and returns its result
+    /// together with the counts collected during the call.
+    ///
+    /// Unlike [`Recorder::record`], the thread's previous recorder state is
+    /// saved first and restored afterwards (also on panic), so scopes nest:
+    /// an enclosing recording continues unharmed, merely blind to the ops of
+    /// the inner scope. The returned [`TraceCounts`] is plain data (`Send`),
+    /// which is what makes recording work across threads — each worker
+    /// wraps its slice of the work in `scoped`, ships the counts back, and
+    /// the driver combines them with `+`/[`TraceCounts::merge`] (or feeds
+    /// them to an enclosing recording via [`Recorder::absorb`]).
+    ///
+    /// ```
+    /// use flexfloat::{Recorder, TraceCounts};
+    ///
+    /// let counts: TraceCounts = std::thread::scope(|s| {
+    ///     let handles: Vec<_> = (0..4)
+    ///         .map(|_| s.spawn(|| Recorder::scoped(|| { /* instrumented work */ }).1))
+    ///         .collect();
+    ///     handles.into_iter().map(|h| h.join().unwrap()).sum()
+    /// });
+    /// # let _ = counts;
+    /// ```
+    pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, TraceCounts) {
+        /// Restores the saved recorder state when dropped, so a panicking
+        /// scope cannot leave the thread recording into the wrong counts.
+        struct Restore(Option<RecorderState>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                if let Some(saved) = self.0.take() {
+                    RECORDER.with(|r| *r.borrow_mut() = saved);
+                }
+            }
+        }
+
+        let saved = RECORDER.with(|r| {
+            std::mem::replace(
+                &mut *r.borrow_mut(),
+                RecorderState {
+                    enabled: true,
+                    ..Default::default()
+                },
+            )
+        });
+        let restore = Restore(Some(saved));
+        let out = f();
+        let counts = RECORDER.with(|r| std::mem::take(&mut r.borrow_mut().counts));
+        drop(restore);
+        (out, counts)
+    }
+
+    /// Merges counts collected elsewhere — typically a worker thread's
+    /// [`Recorder::scoped`] result — into this thread's recording, as if the
+    /// operations had executed here. No-op while recording is disabled.
+    ///
+    /// The last-FP tracker is cleared: instruction adjacency has no meaning
+    /// across a merge point, so a merged batch never forms a dependent pair
+    /// with the surrounding instruction stream.
+    pub fn absorb(counts: &TraceCounts) {
+        RECORDER.with(|r| {
+            let mut s = r.borrow_mut();
+            if !s.enabled {
+                return;
+            }
+            s.counts.merge(counts);
+            s.last_fp = None;
+        });
     }
 
     /// `true` while recording is enabled on this thread.
@@ -513,6 +618,105 @@ mod tests {
         assert_eq!(sum.total_fp_ops(), 2);
         assert_eq!(sum.int_ops, 2);
         assert_eq!(sum.total_mem_accesses(), 1);
+    }
+
+    #[test]
+    fn add_and_add_assign_merge() {
+        let ((), a) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+            Recorder::int_ops(2);
+        });
+        let ((), b) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+            Recorder::load(32);
+        });
+        let sum = a.clone() + b.clone();
+        assert_eq!(sum.total_fp_ops(), 2);
+        assert_eq!(sum.int_ops, 2);
+        assert_eq!(sum.total_mem_accesses(), 1);
+        let mut acc = TraceCounts::new();
+        acc += a.clone();
+        acc += &b;
+        assert_eq!(acc, sum);
+        let summed: TraceCounts = [a, b].into_iter().sum();
+        assert_eq!(summed, sum);
+    }
+
+    #[test]
+    fn scoped_nests_inside_record() {
+        let ((), outer) = Recorder::record(|| {
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+            let ((), inner) = Recorder::scoped(|| {
+                Recorder::fp_op(BINARY8, OpKind::AddSub, 0, 0);
+                Recorder::fp_op(BINARY8, OpKind::AddSub, 0, 0);
+            });
+            assert_eq!(inner.total_fp_ops(), 2);
+            // The enclosing recording resumed and is blind to the scope.
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+        });
+        assert_eq!(outer.total_fp_ops(), 2);
+        assert_eq!(outer.fp_ops_in(BINARY8), 0);
+    }
+
+    #[test]
+    fn scoped_counts_cross_threads_and_absorb() {
+        let ((), outer) = Recorder::record(|| {
+            let merged: TraceCounts = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        s.spawn(|| {
+                            Recorder::scoped(|| {
+                                Recorder::fp_op(BINARY16, OpKind::Fma, 0, 0);
+                                Recorder::store(16);
+                            })
+                            .1
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(merged.total_fp_ops(), 4);
+            Recorder::absorb(&merged);
+        });
+        assert_eq!(outer.fp_ops_in(BINARY16), 4);
+        assert_eq!(outer.stores.get(&16).unwrap().total(), 4);
+    }
+
+    #[test]
+    fn absorb_is_noop_when_disabled() {
+        let ((), counts) = Recorder::record(|| {
+            Recorder::fp_op(BINARY8, OpKind::Mul, 0, 0);
+        });
+        Recorder::absorb(&counts); // recording is off: dropped
+        assert_eq!(Recorder::snapshot().total_fp_ops(), 0);
+    }
+
+    #[test]
+    fn absorb_breaks_dependent_pair_adjacency() {
+        let ((), batch) = Recorder::record(|| {
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+        });
+        let ((), counts) = Recorder::record(|| {
+            let a = Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+            Recorder::absorb(&batch);
+            // Adjacent in program order, but a merge intervened.
+            let _ = Recorder::fp_op(BINARY32, OpKind::AddSub, a, 0);
+        });
+        assert!(counts.dependent_pairs.is_empty());
+        assert_eq!(counts.total_fp_ops(), 3);
+    }
+
+    #[test]
+    fn scoped_restores_on_panic() {
+        let ((), outer) = Recorder::record(|| {
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+            let result = std::panic::catch_unwind(|| {
+                Recorder::scoped(|| panic!("scope dies"));
+            });
+            assert!(result.is_err());
+            Recorder::fp_op(BINARY32, OpKind::Mul, 0, 0);
+        });
+        assert_eq!(outer.total_fp_ops(), 2);
     }
 
     #[test]

@@ -9,6 +9,17 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// A seeded generator for one `(kernel, input_set)` pair.
+///
+/// The seed **and** the generator are recomputed from scratch on every
+/// call; that regeneration is the determinism contract. There is
+/// deliberately no memoized `(kernel, input_set) -> stream` cache: the
+/// seed derivation below is a handful of integer multiplies (orders of
+/// magnitude cheaper than the kernel run that consumes the stream), and
+/// statelessness is what lets the parallel tuning driver evaluate the same
+/// kernel concurrently on many threads with bit-identical inputs and no
+/// synchronization. `tests/rng_stream.rs` pins the first eight draws of
+/// every kernel's stream so an accidental change to either the derivation
+/// or the vendored generator cannot land silently.
 #[must_use]
 pub fn rng_for(kernel: &str, input_set: usize) -> SmallRng {
     // Stable, platform-independent seed derived from the kernel name.

@@ -48,12 +48,14 @@
 
 mod cast_aware;
 mod metrics;
+mod pool;
 mod report;
 mod search;
 mod tunable;
 
 pub use cast_aware::{cast_aware_refine, CastAwareOutcome};
 pub use metrics::{max_relative_error, relative_rms_error, sqnr_db};
+pub use pool::{join2, parallel_map, resolve_workers};
 pub use report::{
     classify_variables, storage_config, validated_storage_config, PrecisionHistogram,
 };

@@ -1,0 +1,131 @@
+//! Scoped-thread fan-out primitives shared by the parallel search driver
+//! and `tp-bench`'s suite evaluation.
+//!
+//! The paper runs DistributedSearch on an HPC cluster (Section V); this
+//! module is the single-node rendering of that fan-out: plain
+//! [`std::thread::scope`] workers pulling indices off an atomic counter.
+//! No work queue survives the call, no threads outlive it, and results are
+//! always returned **in index order**, which is what lets the callers
+//! guarantee bit-identical outcomes at any worker count (see `DESIGN.md §5`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count.
+///
+/// `0` means *auto*: the `TP_WORKERS` environment variable if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// Any other value is taken as-is.
+#[must_use]
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(s) = std::env::var("TP_WORKERS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `0..n` with up to `workers` scoped threads and returns the
+/// results in index order.
+///
+/// With `workers <= 1` (or `n <= 1`) no thread is spawned and `f` runs
+/// inline, in order — the sequential and parallel paths execute the exact
+/// same per-index work, only the interleaving differs. A panicking worker
+/// propagates out of the call (via [`std::thread::scope`]).
+pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let w = workers.min(n);
+    if w <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..w {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs two closures concurrently — `b` on a scoped thread, `a` on the
+/// caller — and returns both results. Used for speculative candidate
+/// probes where the sequential driver would short-circuit.
+pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for workers in [0, 1, 2, 8, 64] {
+            let out = parallel_map(workers, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn parallel_map_runs_every_index_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = parallel_map(4, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn join2_returns_both() {
+        let (a, b) = join2(|| 1 + 1, || "x".to_owned() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn resolve_workers_passthrough() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1); // auto resolves to something usable
+    }
+}

@@ -5,11 +5,34 @@
 //! threshold, find for each program variable the minimum number of precision
 //! bits that still meets the threshold — first per input set, then joined
 //! across input sets by a statistical refinement phase.
+//!
+//! # Parallel driver and the determinism contract
+//!
+//! The paper fans this search out over an HPC cluster (Section V); here the
+//! fan-out is [`crate::pool`] scoped threads, in two places:
+//!
+//! 1. **Input sets** (phase 1) are tuned independently and joined by
+//!    per-variable maximum — a commutative, associative reduction applied in
+//!    set order, so the join cannot observe scheduling.
+//! 2. **Hypothesis probes**: when enough workers remain beyond the input-set
+//!    fan-out, the narrow- and wide-exponent hypotheses of one binary-search
+//!    probe are evaluated *speculatively* in parallel. The narrow result
+//!    always takes priority, exactly as in the sequential short-circuit, so
+//!    the decision — though not the number of program evaluations — is
+//!    unchanged.
+//!
+//! The contract: [`distributed_search`] returns **bit-identical chosen
+//! formats** (precisions, wide-range flags, and therefore storage mappings)
+//! for any `workers` value. Only [`TuningOutcome::evaluations`] may differ,
+//! because speculative probes evaluate hypotheses the sequential driver
+//! short-circuits past. `tests/determinism.rs` pins both halves of this
+//! contract.
 
-use flexfloat::{TypeConfig, VarSpec};
+use flexfloat::{Recorder, TraceCounts, TypeConfig, VarSpec};
 use tp_formats::{FpFormat, TypeSystem};
 
 use crate::metrics::relative_rms_error;
+use crate::pool;
 use crate::tunable::Tunable;
 
 /// Parameters of a tuning run.
@@ -28,11 +51,17 @@ pub struct SearchParams {
     /// Number of descent passes over the variable list per input set
     /// (later passes exploit interactions unlocked by earlier ones).
     pub passes: usize,
+    /// Worker threads for the parallel driver. `0` (the default) resolves
+    /// via [`crate::resolve_workers`]: the `TP_WORKERS` environment variable
+    /// if set, otherwise [`std::thread::available_parallelism`]. The chosen
+    /// formats are bit-identical at any worker count; only the evaluation
+    /// count varies (speculative probes — see the module docs).
+    pub workers: usize,
 }
 
 impl SearchParams {
     /// Parameters used throughout the paper's evaluation: the given error
-    /// threshold, three input sets, the V2 type system.
+    /// threshold, three input sets, the V2 type system, auto worker count.
     #[must_use]
     pub fn paper(threshold: f64) -> Self {
         SearchParams {
@@ -41,7 +70,15 @@ impl SearchParams {
             type_system: TypeSystem::V2,
             max_precision: 24,
             passes: 2,
+            workers: 0,
         }
+    }
+
+    /// Builder-style override of the worker count (`0` = auto).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 }
 
@@ -130,64 +167,155 @@ pub fn eval_format(ts: TypeSystem, precision_bits: u32, wide: bool) -> FpFormat 
     FpFormat::new(e, m).expect("validated widths")
 }
 
-/// Internal mutable search state for one application.
-struct SearchState<'a> {
-    app: &'a dyn Tunable,
-    params: SearchParams,
-    vars: Vec<VarSpec>,
+/// One candidate assignment of `(precision, wide)` to every variable —
+/// the unit the search explores and the workers evaluate.
+#[derive(Debug, Clone)]
+struct Candidate {
     precision: Vec<u32>,
     wide: Vec<bool>,
-    evaluations: u64,
 }
 
-impl<'a> SearchState<'a> {
-    fn config(&self) -> TypeConfig {
+impl Candidate {
+    /// The per-variable evaluation configuration this candidate implies.
+    fn config(&self, ts: TypeSystem, vars: &[VarSpec]) -> TypeConfig {
         let mut cfg = TypeConfig::baseline();
-        for (i, v) in self.vars.iter().enumerate() {
-            cfg.set(
-                v.name,
-                eval_format(self.params.type_system, self.precision[i], self.wide[i]),
-            );
+        for (i, v) in vars.iter().enumerate() {
+            cfg.set(v.name, eval_format(ts, self.precision[i], self.wide[i]));
         }
         cfg
     }
+}
 
+/// Pure candidate evaluation — the function the parallel driver fans out.
+///
+/// Runs `app` under the candidate's configuration on `set` and checks the
+/// quality constraint against `reference`. Touches no search state, so any
+/// number of these can execute concurrently on shared `&` data.
+fn candidate_passes(
+    app: &dyn Tunable,
+    params: &SearchParams,
+    vars: &[VarSpec],
+    cand: &Candidate,
+    reference: &[f64],
+    set: usize,
+) -> bool {
+    let out = app.run(&cand.config(params.type_system, vars), set);
+    relative_rms_error(reference, &out) <= params.threshold
+}
+
+/// Internal mutable search state for one `(application, input set)` pair.
+struct SearchState<'a> {
+    app: &'a dyn Tunable,
+    params: SearchParams,
+    vars: &'a [VarSpec],
+    cand: Candidate,
+    evaluations: u64,
+    /// Evaluate the narrow- and wide-exponent hypotheses of a probe
+    /// concurrently instead of short-circuiting. Decision-neutral;
+    /// inflates `evaluations` (see the module docs).
+    speculate: bool,
+}
+
+impl<'a> SearchState<'a> {
     fn passes(&mut self, reference: &[f64], set: usize) -> bool {
         self.evaluations += 1;
-        let out = self.app.run(&self.config(), set);
-        relative_rms_error(reference, &out) <= self.params.threshold
+        candidate_passes(
+            self.app,
+            &self.params,
+            self.vars,
+            &self.cand,
+            reference,
+            set,
+        )
     }
 
-    /// Minimal passing precision for variable `i` with all others fixed.
-    /// Returns the chosen `(precision, wide)`; leaves the state updated.
-    fn descend_var(&mut self, i: usize, reference: &[f64], set: usize) {
-        let original = (self.precision[i], self.wide[i]);
+    /// Does precision `p` work for variable `i`? Tries the narrow-exponent
+    /// hypothesis first, then the wide one; returns the accepted `wide`
+    /// flag and leaves `self.cand` set to the accepted (or last-tried)
+    /// hypothesis. The wide retry only exists when the narrow hypothesis
+    /// actually has a narrow exponent (otherwise the two are identical).
+    fn try_p(&mut self, i: usize, p: u32, reference: &[f64], set: usize) -> Option<bool> {
+        self.cand.precision[i] = p;
+        self.cand.wide[i] = false;
+        let has_wide_retry = eval_format(self.params.type_system, p, false).exp_bits() < 8;
 
-        // Predicate: does precision p work for this variable (trying the
-        // narrow-exponent hypothesis first, then the wide one)?
-        let try_p = |state: &mut Self, p: u32| -> Option<bool> {
-            state.precision[i] = p;
-            state.wide[i] = false;
-            if state.passes(reference, set) {
+        if self.speculate && has_wide_retry {
+            // Speculative probe: evaluate both hypotheses concurrently.
+            // Narrow still wins ties, so the decision matches the
+            // sequential short-circuit exactly; only the evaluation count
+            // differs (the wide run happens even when narrow passes).
+            let narrow = self.cand.clone();
+            let mut wide = self.cand.clone();
+            wide.wide[i] = true;
+            let (app, params, vars) = (self.app, self.params, self.vars);
+            let (narrow_ok, wide_ok) = if Recorder::is_enabled() {
+                // The caller is recording: capture both probes' counts in
+                // their own scopes (the spawned thread's recorder starts
+                // disabled). Absorb the narrow counts always, the wide
+                // counts only when the narrow hypothesis failed — exactly
+                // the evaluations a sequential run executes — so recorded
+                // totals stay worker-count invariant even though the
+                // speculative wide run happened (it is dropped when narrow
+                // passes, like the speculated work it is).
+                let ((narrow_ok, nc), (wide_ok, wc)) = pool::join2(
+                    || {
+                        Recorder::scoped(|| {
+                            candidate_passes(app, &params, vars, &narrow, reference, set)
+                        })
+                    },
+                    || {
+                        Recorder::scoped(|| {
+                            candidate_passes(app, &params, vars, &wide, reference, set)
+                        })
+                    },
+                );
+                Recorder::absorb(&nc);
+                if !narrow_ok {
+                    Recorder::absorb(&wc);
+                }
+                (narrow_ok, wide_ok)
+            } else {
+                pool::join2(
+                    || candidate_passes(app, &params, vars, &narrow, reference, set),
+                    || candidate_passes(app, &params, vars, &wide, reference, set),
+                )
+            };
+            self.evaluations += 2;
+            if narrow_ok {
+                Some(false)
+            } else if wide_ok {
+                self.cand.wide[i] = true;
+                Some(true)
+            } else {
+                None
+            }
+        } else {
+            if self.passes(reference, set) {
                 return Some(false);
             }
-            // Only retry with the wide exponent when the hypothesis was
-            // narrow (otherwise the two configurations are identical).
-            if eval_format(state.params.type_system, p, false).exp_bits() < 8 {
-                state.wide[i] = true;
-                if state.passes(reference, set) {
+            if has_wide_retry {
+                self.cand.wide[i] = true;
+                if self.passes(reference, set) {
                     return Some(true);
                 }
             }
             None
-        };
+        }
+    }
+
+    /// Minimal passing precision for variable `i` with all others fixed.
+    /// Leaves the state updated to the winner. Ties between hypotheses are
+    /// broken deterministically — smallest precision first (binary search),
+    /// narrow exponent preferred — so the winner is scheduling-independent.
+    fn descend_var(&mut self, i: usize, reference: &[f64], set: usize) {
+        let original = (self.cand.precision[i], self.cand.wide[i]);
 
         // Binary search for the smallest passing precision in [2, current].
         let (mut lo, mut hi) = (2u32, original.0);
         let mut best: Option<(u32, bool)> = Some(original);
         while lo <= hi {
             let mid = (lo + hi) / 2;
-            match try_p(self, mid) {
+            match self.try_p(i, mid, reference, set) {
                 Some(wide) => {
                     best = Some((mid, wide));
                     if mid == 2 {
@@ -199,8 +327,8 @@ impl<'a> SearchState<'a> {
             }
         }
         let (p, w) = best.expect("original precision always passes");
-        self.precision[i] = p;
-        self.wide[i] = w;
+        self.cand.precision[i] = p;
+        self.cand.wide[i] = w;
     }
 
     /// Repairs a failing configuration by raising precisions round-robin,
@@ -209,11 +337,12 @@ impl<'a> SearchState<'a> {
         while !self.passes(reference, set) {
             // Raise the currently lowest-precision raisable variable.
             let candidate = (0..self.vars.len())
-                .filter(|&i| self.precision[i] < self.params.max_precision)
-                .min_by_key(|&i| self.precision[i]);
+                .filter(|&i| self.cand.precision[i] < self.params.max_precision)
+                .min_by_key(|&i| self.cand.precision[i]);
             match candidate {
                 Some(i) => {
-                    self.precision[i] = (self.precision[i] + 2).min(self.params.max_precision)
+                    self.cand.precision[i] =
+                        (self.cand.precision[i] + 2).min(self.params.max_precision);
                 }
                 None => break, // everything is at maximum already
             }
@@ -221,14 +350,56 @@ impl<'a> SearchState<'a> {
     }
 }
 
+/// Phase 1 for one input set: descend every variable by binary search for
+/// [`SearchParams::passes`] rounds, repairing after each round. Returns the
+/// tuned candidate and the number of evaluations spent.
+fn tune_one_set(
+    app: &dyn Tunable,
+    params: SearchParams,
+    vars: &[VarSpec],
+    order: &[usize],
+    set: usize,
+    speculate: bool,
+) -> (Candidate, u64) {
+    let reference = app.reference(set);
+    let mut st = SearchState {
+        app,
+        params,
+        vars,
+        cand: Candidate {
+            precision: vec![params.max_precision; vars.len()],
+            wide: vec![false; vars.len()],
+        },
+        evaluations: 0,
+        speculate,
+    };
+    for _ in 0..params.passes {
+        for &i in order {
+            st.descend_var(i, &reference, set);
+        }
+        st.repair(&reference, set);
+    }
+    debug_assert!(candidate_passes(
+        app, &params, vars, &st.cand, &reference, set
+    ));
+    (st.cand, st.evaluations)
+}
+
 /// Runs the full two-phase search for `app` under `params`.
 ///
-/// Phase 1 tunes each input set independently: variables are visited in
+/// Phase 1 tunes each input set independently — fanned out over
+/// [`SearchParams::workers`] scoped threads: variables are visited in
 /// descending element count (largest memory impact first) and lowered by
 /// binary search, for [`SearchParams::passes`] rounds, with a repair step
 /// whenever interactions break the full-configuration check. Phase 2 joins
-/// the per-set bindings (maximum precision, OR of the wide-range flags) and
-/// re-validates on every set, repairing if needed.
+/// the per-set bindings (maximum precision, OR of the wide-range flags —
+/// both order-free reductions, applied in set order) and re-validates on
+/// every set, repairing if needed.
+///
+/// The chosen formats are **bit-identical at any worker count**; only
+/// [`TuningOutcome::evaluations`] may vary (see the module docs). If the
+/// caller has a [`Recorder`](flexfloat::Recorder) running, operations
+/// executed by worker threads are absorbed back into its counts.
 #[must_use]
 pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutcome {
     let vars = app.variables();
@@ -240,32 +411,44 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     let mut order: Vec<usize> = (0..vars.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(vars[i].elements));
 
-    let mut joined_p = vec![2u32; vars.len()];
-    let mut joined_wide = vec![false; vars.len()];
-    let mut evaluations = 0u64;
+    let workers = pool::resolve_workers(params.workers);
+    // Budget: one worker per input set; speculative hypothesis probes only
+    // when a second full wave of workers is available beyond that.
+    let speculate = workers >= 2 * params.input_sets && workers > 1;
 
-    for set in 0..params.input_sets {
-        let reference = app.reference(set);
-        let mut st = SearchState {
-            app,
-            params,
-            vars: vars.clone(),
-            precision: vec![params.max_precision; vars.len()],
-            wide: vec![false; vars.len()],
-            evaluations: 0,
-        };
-        for _ in 0..params.passes {
-            for &i in &order {
-                st.descend_var(i, &reference, set);
+    // Phase 1: tune every input set independently, in parallel. Recording
+    // is left alone in the common (not-recording) case — the per-op
+    // `is_enabled` fast path stays a cold branch. Only when the caller has
+    // a Recorder running does each worker capture its ops in a scope, and
+    // the driver re-absorb the counts in set order, so the enclosing
+    // recording sees the same totals a sequential run would have produced.
+    let recording = Recorder::is_enabled();
+    let per_set: Vec<(Candidate, u64, Option<TraceCounts>)> =
+        pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
+            if recording {
+                let ((cand, evals), counts) =
+                    Recorder::scoped(|| tune_one_set(app, params, &vars, &order, set, speculate));
+                (cand, evals, Some(counts))
+            } else {
+                let (cand, evals) = tune_one_set(app, params, &vars, &order, set, speculate);
+                (cand, evals, None)
             }
-            st.repair(&reference, set);
-        }
-        debug_assert!(st.passes(&reference, set));
+        });
+
+    let mut joined = Candidate {
+        precision: vec![2u32; vars.len()],
+        wide: vec![false; vars.len()],
+    };
+    let mut evaluations = 0u64;
+    for (cand, evals, counts) in &per_set {
         for i in 0..vars.len() {
-            joined_p[i] = joined_p[i].max(st.precision[i]);
-            joined_wide[i] = joined_wide[i] || st.wide[i];
+            joined.precision[i] = joined.precision[i].max(cand.precision[i]);
+            joined.wide[i] = joined.wide[i] || cand.wide[i];
         }
-        evaluations += st.evaluations;
+        evaluations += evals;
+        if let Some(counts) = counts {
+            Recorder::absorb(counts);
+        }
     }
 
     // Phase 2: validate the joined binding on every set; repair when the
@@ -274,14 +457,15 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // set can nudge another back over the threshold, so iterate until a
     // full pass over all sets is clean (termination is guaranteed: repairs
     // only raise precisions, and the all-maximum configuration reproduces
-    // the reference exactly).
+    // the reference exactly). This phase is a handful of evaluations and
+    // runs sequentially — its trajectory must not depend on scheduling.
     let mut st = SearchState {
         app,
         params,
-        vars: vars.clone(),
-        precision: joined_p,
-        wide: joined_wide,
+        vars: &vars,
+        cand: joined,
         evaluations: 0,
+        speculate: false,
     };
     loop {
         let mut clean = true;
@@ -292,7 +476,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
                 st.repair(&reference, set);
             }
         }
-        if clean || st.precision.iter().all(|&p| p == params.max_precision) {
+        if clean || st.cand.precision.iter().all(|&p| p == params.max_precision) {
             break;
         }
     }
@@ -307,8 +491,8 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
             .enumerate()
             .map(|(i, spec)| TunedVar {
                 spec: spec.clone(),
-                precision_bits: st.precision[i],
-                needs_wide_range: st.wide[i],
+                precision_bits: st.cand.precision[i],
+                needs_wide_range: st.cand.wide[i],
             })
             .collect(),
         evaluations,
@@ -468,6 +652,51 @@ mod tests {
         assert_eq!(eval_format(V2, 3, false), BINARY8);
         assert_eq!(eval_format(V2, 8, false), BINARY16ALT);
         assert_eq!(eval_format(V2, 11, false), BINARY16);
+    }
+
+    #[test]
+    fn enclosing_recorder_absorbs_worker_ops() {
+        use flexfloat::Recorder;
+        let run = |workers: usize| {
+            Recorder::record(|| {
+                distributed_search(
+                    &TwoVars,
+                    SearchParams {
+                        input_sets: 2,
+                        ..SearchParams::paper(1e-1).with_workers(workers)
+                    },
+                )
+            })
+        };
+        // Worker-thread evaluations were absorbed back: the recording saw
+        // at least one FP op per counted evaluation (TwoVars does 8 muls
+        // per run; at workers=1 no speculation inflates the count).
+        let (seq_outcome, seq_counts) = run(1);
+        assert!(
+            seq_counts.total_fp_ops() >= seq_outcome.evaluations * 8,
+            "{} ops for {} evaluations",
+            seq_counts.total_fp_ops(),
+            seq_outcome.evaluations
+        );
+        // Recorded counts are worker-count invariant: speculative wide
+        // probes that a sequential run short-circuits past are evaluated
+        // but *not* absorbed, so the totals match exactly even though the
+        // evaluation counters differ.
+        let (_, par_counts) = run(8);
+        assert_eq!(seq_counts, par_counts);
+    }
+
+    #[test]
+    fn workers_do_not_change_the_outcome() {
+        let seq = distributed_search(&TwoVars, SearchParams::paper(1e-3).with_workers(1));
+        for workers in [2usize, 4, 8] {
+            let par = distributed_search(&TwoVars, SearchParams::paper(1e-3).with_workers(workers));
+            for (a, b) in seq.vars.iter().zip(&par.vars) {
+                assert_eq!(a.precision_bits, b.precision_bits, "workers={workers}");
+                assert_eq!(a.needs_wide_range, b.needs_wide_range, "workers={workers}");
+            }
+            assert!(par.evaluations >= seq.evaluations, "workers={workers}");
+        }
     }
 
     #[test]

@@ -9,8 +9,13 @@ use flexfloat::{TypeConfig, VarSpec};
 /// a per-variable precision configuration, and emit its numerical outputs.
 ///
 /// Implementations must be *deterministic*: the same `(config, input_set)`
-/// pair must always produce the same outputs.
-pub trait Tunable {
+/// pair must always produce the same outputs. They must also be
+/// `Send + Sync`: the tuning driver and the suite evaluator fan candidate
+/// evaluations out over scoped worker threads that share one `&dyn Tunable`,
+/// so any internal state (cached inputs, RNGs) has to be either absent —
+/// regenerate inputs deterministically per call, as `tp-kernels` does — or
+/// behind a synchronization primitive.
+pub trait Tunable: Send + Sync {
     /// Short identifier used in reports (e.g. `"JACOBI"`).
     fn name(&self) -> &str;
 

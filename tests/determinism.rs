@@ -1,0 +1,131 @@
+//! The parallel-search determinism contract (DESIGN.md §5), pinned.
+//!
+//! `distributed_search` must return **byte-identical** chosen formats —
+//! per-variable precisions, wide-range flags, and therefore evaluation and
+//! storage configurations — at any worker count.
+//!
+//! **The evaluation-count caveat**: [`TuningOutcome::evaluations`] is
+//! explicitly *outside* the contract. The parallel driver probes the
+//! narrow- and wide-exponent hypotheses of a candidate speculatively when
+//! spare workers exist, so it *counts* evaluations (the wide run) that the
+//! sequential driver short-circuits past after a narrow pass. The decision
+//! logic always prefers the narrow hypothesis, which is why the counts can
+//! differ while the outcome cannot. These tests therefore compare every
+//! outcome field *except* `evaluations`, and separately assert that the
+//! counts stay within the speculative envelope (parallel never evaluates
+//! fewer candidates than sequential, and at most twice as many).
+
+use tp_bench::evaluate_app_with;
+use tp_kernels::{all_kernels_small, Conv, Knn};
+use tp_platform::PlatformParams;
+use tp_tuner::{distributed_search, SearchParams, Tunable, TuningOutcome};
+
+/// Everything in a [`TuningOutcome`] except the evaluation count, in a
+/// directly comparable form.
+fn fingerprint(o: &TuningOutcome) -> String {
+    let mut s = format!("{}|{:e}|{}", o.app, o.threshold, o.type_system);
+    for v in &o.vars {
+        s.push_str(&format!(
+            "|{}:{}e{}m{}w{}:{}",
+            v.spec.name,
+            v.spec.elements,
+            v.eval_format(o.type_system).exp_bits(),
+            v.precision_bits,
+            v.needs_wide_range,
+            v.eval_format(o.type_system),
+        ));
+    }
+    s
+}
+
+/// The satellite requirement: two kernels, workers 1 vs 8, byte-identical
+/// outcome (evaluation counts aside — see the module docs).
+#[test]
+fn two_kernels_workers_one_vs_eight() {
+    for (app, threshold) in [
+        (&Conv::small() as &dyn Tunable, 1e-2),
+        (&Knn::small() as &dyn Tunable, 1e-1),
+    ] {
+        let seq = distributed_search(app, SearchParams::paper(threshold).with_workers(1));
+        let par = distributed_search(app, SearchParams::paper(threshold).with_workers(8));
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&par),
+            "{}: workers=8 diverged from workers=1",
+            app.name()
+        );
+        assert_eq!(seq.eval_config(), par.eval_config(), "{}", app.name());
+        // The counts envelope: speculation can only add evaluations, and
+        // adds at most one wide probe per sequential narrow probe.
+        assert!(
+            par.evaluations >= seq.evaluations && par.evaluations <= 2 * seq.evaluations,
+            "{}: {} vs {}",
+            app.name(),
+            seq.evaluations,
+            par.evaluations
+        );
+    }
+}
+
+/// The full suite at the acceptance-criterion worker counts {1, 4, 8}.
+#[test]
+fn full_suite_workers_1_4_8() {
+    for app in all_kernels_small() {
+        let baseline = distributed_search(app.as_ref(), SearchParams::paper(1e-1).with_workers(1));
+        for workers in [4usize, 8] {
+            let outcome = distributed_search(
+                app.as_ref(),
+                SearchParams::paper(1e-1).with_workers(workers),
+            );
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&outcome),
+                "{}: workers={workers} diverged",
+                app.name()
+            );
+        }
+    }
+}
+
+/// The bench layer inherits the contract: storage mapping, trace counts and
+/// platform reports of an `evaluate_app` run match at any worker count.
+#[test]
+fn evaluate_app_is_worker_count_invariant() {
+    let app = Conv::small();
+    let params = PlatformParams::paper();
+    let seq = evaluate_app_with(&app, 1e-1, &params, 1);
+    let par = evaluate_app_with(&app, 1e-1, &params, 8);
+    assert_eq!(fingerprint(&seq.outcome), fingerprint(&par.outcome));
+    assert_eq!(seq.storage, par.storage);
+    assert_eq!(seq.baseline_counts, par.baseline_counts);
+    assert_eq!(seq.tuned_counts, par.tuned_counts);
+    assert_eq!(seq.baseline.cycles.total(), par.baseline.cycles.total());
+    assert_eq!(seq.tuned.cycles.total(), par.tuned.cycles.total());
+    assert_eq!(seq.tuned.energy.total(), par.tuned.energy.total());
+}
+
+/// `TP_WORKERS` only matters when the requested count is 0 (auto); an
+/// explicit worker count must win over the environment.
+///
+/// Mutating the environment is safe in *this* test binary: every other
+/// test here passes explicit worker counts, and `resolve_workers` returns
+/// before reading the environment when the request is non-zero.
+#[test]
+fn explicit_workers_beat_env() {
+    std::env::set_var("TP_WORKERS", "3");
+    assert_eq!(tp_tuner::resolve_workers(5), 5, "explicit beats env");
+    assert_eq!(tp_tuner::resolve_workers(0), 3, "auto reads env");
+    std::env::set_var("TP_WORKERS", "not a number");
+    assert!(
+        tp_tuner::resolve_workers(0) >= 1,
+        "garbage env falls back to available_parallelism"
+    );
+    std::env::remove_var("TP_WORKERS");
+    assert!(tp_tuner::resolve_workers(0) >= 1);
+
+    // And the searches the env steers agree with any explicit count.
+    let app = Knn::small();
+    let a = distributed_search(&app, SearchParams::paper(1e-2).with_workers(2));
+    let b = distributed_search(&app, SearchParams::paper(1e-2).with_workers(6));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
