@@ -8,9 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use flexfloat::{Recorder, TraceCounts, TypeConfig};
+use std::sync::Arc;
+
+use flexfloat::backend::{Emulated, SoftFloat};
+use flexfloat::{Engine, FpBackend, Recorder, TraceCounts, TypeConfig};
 use tp_formats::TypeSystem;
-use tp_platform::{evaluate, PlatformParams, PlatformReport};
+use tp_fpu::FpuModel;
+use tp_platform::{cross_validate, evaluate, CrossReport, PlatformParams, PlatformReport};
 use tp_tuner::{
     distributed_search, parallel_map, resolve_workers, validated_storage_config, SearchParams,
     Tunable, TuningOutcome,
@@ -72,6 +76,28 @@ impl AppResult {
 pub fn effective_workers() -> usize {
     resolve_workers(0)
 }
+
+/// Builds one of the three named execution backends:
+/// `"emulated"` (the native-`f64` fast path), `"softfloat"` (pure-integer
+/// kernels with exception flags), or `"fpu"` / `"fpu-model"` (the
+/// `SmallFloatUnit` cycle/energy adapter). Returns `None` for anything
+/// else.
+///
+/// This is the string the `TP_BACKEND` environment variable speaks; the
+/// harness resolves it here so experiment binaries and the CI backend
+/// matrix share one spelling.
+#[must_use]
+pub fn backend_by_name(name: &str) -> Option<Arc<dyn FpBackend>> {
+    match name {
+        "emulated" => Some(Arc::new(Emulated)),
+        "softfloat" => Some(Arc::new(SoftFloat::new())),
+        "fpu" | "fpu-model" => Some(Arc::new(FpuModel::new())),
+        _ => None,
+    }
+}
+
+/// Every backend name accepted by [`backend_by_name`], for matrix sweeps.
+pub const BACKEND_NAMES: [&str; 3] = ["emulated", "softfloat", "fpu"];
 
 /// Records one run of `app` under `config` on the measurement input set.
 ///
@@ -140,17 +166,98 @@ pub fn evaluate_suite_with(
     params: &PlatformParams,
     workers: usize,
 ) -> Vec<AppResult> {
+    suite_fan_out(workers, |app, inner| {
+        evaluate_app_with(app, threshold, params, inner)
+    })
+}
+
+/// The suite-level fan-out shared by every whole-suite entry point: one
+/// worker per kernel first, the surplus handed to each kernel's own
+/// search. `f` receives the kernel and its inner worker budget.
+///
+/// Ceiling division: a budget that does not divide evenly still reaches
+/// the per-kernel searches (8 workers / 6 kernels -> 2 per search, not 1).
+/// The transient oversubscription is at most `outer - 1` threads, which
+/// the scheduler absorbs; dropping the surplus would instead force every
+/// search sequential.
+fn suite_fan_out<T: Send>(workers: usize, f: impl Fn(&dyn Tunable, usize) -> T + Sync) -> Vec<T> {
     let kernels = tp_kernels::all_kernels();
     let total = resolve_workers(workers);
     let outer = total.min(kernels.len()).max(1);
-    // Ceiling division: a budget that does not divide evenly still reaches
-    // the per-kernel searches (8 workers / 6 kernels -> 2 per search, not
-    // 1). The transient oversubscription is at most `outer - 1` threads,
-    // which the scheduler absorbs; dropping the surplus would instead force
-    // every search sequential.
     let inner = total.div_ceil(outer);
-    parallel_map(outer, kernels.len(), |i| {
-        evaluate_app_with(kernels[i].as_ref(), threshold, params, inner)
+    parallel_map(outer, kernels.len(), |i| f(kernels[i].as_ref(), inner))
+}
+
+/// Cross-validation of one application: the tuned configuration executed
+/// on the `FpuModel` backend (microarchitectural measurement) versus the
+/// analytic platform model over the recorded trace of the *same* run.
+#[derive(Debug, Clone)]
+pub struct AppCrossValidation {
+    /// Application name.
+    pub app: String,
+    /// Quality threshold the configuration was tuned for.
+    pub threshold: f64,
+    /// The storage-mapped configuration that was executed.
+    pub storage: TypeConfig,
+    /// Measured-vs-analytic comparison of the FP portion of the run.
+    pub report: CrossReport,
+    /// `true` when the `FpuModel` outputs are bit-identical to the default
+    /// emulated path (the backend contract; asserted by the test suites,
+    /// reported here so the experiment binary shows it too).
+    pub outputs_match: bool,
+}
+
+/// Tunes `app` at `threshold`, maps the result onto the platform's storage
+/// formats, then executes the tuned configuration on the [`FpuModel`]
+/// backend, returning measured (unit latencies + emulation charges) versus
+/// analytic (trace-driven [`tp_platform::cycle_report`]) FP cycles.
+///
+/// The precision search itself runs on the caller's current backend (the
+/// fast emulated path unless one is installed), since chosen formats are
+/// backend-invariant; only the final measured run is pinned to `FpuModel`.
+#[must_use]
+pub fn cross_validate_app(
+    app: &dyn Tunable,
+    threshold: f64,
+    params: &PlatformParams,
+    workers: usize,
+) -> AppCrossValidation {
+    let search = SearchParams::paper(threshold).with_workers(workers);
+    let outcome = distributed_search(app, search);
+    let storage = validated_storage_config(app, &outcome, TypeSystem::V2, search.input_sets);
+
+    let fpu = Arc::new(FpuModel::new());
+    let (measured_out, counts) = Engine::with(fpu.clone(), || {
+        Recorder::scoped(|| app.run(&storage, MEASURE_SET))
+    });
+    let report = cross_validate(&fpu.stats(), &counts, params);
+
+    let default_out = app.run(&storage, MEASURE_SET);
+    let outputs_match = measured_out.len() == default_out.len()
+        && measured_out
+            .iter()
+            .zip(&default_out)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    AppCrossValidation {
+        app: app.name().to_owned(),
+        threshold,
+        storage,
+        report,
+        outputs_match,
+    }
+}
+
+/// [`cross_validate_app`] over the whole suite, fanned out like
+/// [`evaluate_suite_with`] (`0` = auto worker count).
+#[must_use]
+pub fn cross_validate_suite(
+    threshold: f64,
+    params: &PlatformParams,
+    workers: usize,
+) -> Vec<AppCrossValidation> {
+    suite_fan_out(workers, |app, inner| {
+        cross_validate_app(app, threshold, params, inner)
     })
 }
 
@@ -183,6 +290,27 @@ mod tests {
         assert!(r.memory_ratio() > 0.0 && r.memory_ratio() <= 1.0);
         assert!(r.energy_ratio() > 0.0 && r.energy_ratio() < 2.0);
         assert_eq!(r.app, "CONV");
+    }
+
+    #[test]
+    fn backend_by_name_resolves_all_names() {
+        for name in BACKEND_NAMES {
+            let b = backend_by_name(name).expect(name);
+            // "fpu" is the short spelling of the fpu-model backend.
+            assert!(b.name() == name || (name == "fpu" && b.name() == "fpu-model"));
+        }
+        assert!(backend_by_name("no-such-datapath").is_none());
+    }
+
+    #[test]
+    fn cross_validation_smoke() {
+        let app = Conv::small();
+        let r = cross_validate_app(&app, 1e-1, &PlatformParams::paper(), 1);
+        assert!(r.outputs_match, "FpuModel outputs diverged");
+        assert_eq!(r.report.off_grid_ops, 0);
+        assert!(r.report.measured_total() > 0);
+        assert!(r.report.analytic_fp_cycles > 0);
+        assert!(r.report.measured_energy_pj > 0.0);
     }
 
     #[test]

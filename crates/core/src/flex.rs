@@ -4,8 +4,9 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use tp_formats::{FloatClass, FpFormat, RoundingMode};
+use tp_formats::{FloatClass, FpFormat};
 
+use crate::backend::{self, BinOp, Emulated, FpBackend};
 use crate::stats::{OpKind, Recorder};
 
 /// A floating-point value with `E` exponent bits and `M` explicit mantissa
@@ -43,11 +44,12 @@ pub struct FlexFloat<const E: u32, const M: u32>(f64);
 
 impl<const E: u32, const M: u32> FlexFloat<E, M> {
     /// The format descriptor of this instantiation.
+    ///
+    /// (The native-exactness rule — Figueroa's `2m + 2 <= 52` condition
+    /// deciding between the f64 fast path and the integer kernels — lives
+    /// with the `Emulated` backend, which all uninstalled operations
+    /// share.)
     pub const FORMAT: FpFormat = FpFormat::new_const(E, M);
-
-    /// `true` when native-f64 arithmetic plus one final rounding is provably
-    /// bit-exact for this format (Figueroa's 2m+2 condition).
-    const NATIVE_EXACT: bool = 2 * M + 2 <= 52;
 
     /// Creates a value by rounding `x` to the nearest representable value.
     #[must_use]
@@ -64,9 +66,11 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
     /// The bit-level encoding of this value.
     #[must_use]
     pub fn to_bits(self) -> u64 {
-        Self::FORMAT
-            .round_from_f64(self.0, RoundingMode::NearestEven)
-            .bits
+        // The backing value is always sanitized — i.e. already on the
+        // `(E, M)` grid — so encoding is a direct field extraction, not a
+        // rounding (`FpFormat::encode_in_grid` vs the old re-round through
+        // `round_from_f64`).
+        Self::FORMAT.encode_in_grid(self.0)
     }
 
     /// The exactly-equal `f64` (explicit cast to a standard type, as in the
@@ -90,7 +94,10 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
         if Recorder::is_enabled() {
             Recorder::cast(FlexFloat::<E2, M2>::FORMAT, Self::FORMAT);
         }
-        Self::new(x.0)
+        match backend::dispatch(|b| b.cast(FlexFloat::<E2, M2>::FORMAT, Self::FORMAT, x.0)) {
+            Some(val) => FlexFloat(val),
+            None => Self::new(x.0),
+        }
     }
 
     /// Explicit conversion into another instantiation.
@@ -129,13 +136,9 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
         if Recorder::is_enabled() {
             Recorder::fp_op(Self::FORMAT, OpKind::Sqrt, 0, 0);
         }
-        if Self::NATIVE_EXACT {
-            FlexFloat(Self::FORMAT.sanitize_f64(self.0.sqrt()))
-        } else {
-            let bits =
-                tp_softfloat::ops::sqrt(Self::FORMAT, self.to_bits(), RoundingMode::NearestEven);
-            Self::from_bits(bits)
-        }
+        let val = backend::dispatch(|b| b.sqrt(Self::FORMAT, self.0))
+            .unwrap_or_else(|| Emulated.sqrt(Self::FORMAT, self.0));
+        FlexFloat(val)
     }
 
     /// Fused multiply-add `self * b + c` with a single rounding.
@@ -148,80 +151,42 @@ impl<const E: u32, const M: u32> FlexFloat<E, M> {
         if Recorder::is_enabled() {
             Recorder::fp_op(Self::FORMAT, OpKind::Fma, 0, 0);
         }
-        let bits = tp_softfloat::ops::fused_mul_add(
-            Self::FORMAT,
-            self.to_bits(),
-            b.to_bits(),
-            c.to_bits(),
-            RoundingMode::NearestEven,
-        );
-        Self::from_bits(bits)
+        let val = backend::dispatch(|bk| bk.fma(Self::FORMAT, self.0, b.0, c.0))
+            .unwrap_or_else(|| Emulated.fma(Self::FORMAT, self.0, b.0, c.0));
+        FlexFloat(val)
     }
 
-    /// The smaller of two values (NaN loses, as in RISC-V `fmin`).
+    /// The smaller of two values (RISC-V `fmin`: NaN loses, `-0 < +0`).
     #[must_use]
     pub fn min(self, other: Self) -> Self {
-        if Recorder::is_enabled() {
-            Recorder::fp_op(Self::FORMAT, OpKind::Cmp, 0, 0);
-        }
-        if self.is_nan() {
-            other
-        } else if other.is_nan() || self.0 <= other.0 {
-            self
-        } else {
-            other
-        }
+        self.min_max(other, true)
     }
 
-    /// The larger of two values (NaN loses, as in RISC-V `fmax`).
+    /// The larger of two values (RISC-V `fmax`: NaN loses, `-0 < +0`).
     #[must_use]
     pub fn max(self, other: Self) -> Self {
+        self.min_max(other, false)
+    }
+
+    fn min_max(self, other: Self, want_min: bool) -> Self {
         if Recorder::is_enabled() {
             Recorder::fp_op(Self::FORMAT, OpKind::Cmp, 0, 0);
         }
-        if self.is_nan() {
-            other
-        } else if other.is_nan() || self.0 >= other.0 {
-            self
-        } else {
-            other
-        }
+        FlexFloat(backend::min_max(Self::FORMAT, self.0, other.0, want_min))
     }
 
     #[inline]
-    fn sanitize_op(kind: OpKind, native: f64, a: Self, b: Self, exact_kind: ExactKind) -> Self {
+    fn sanitize_op(kind: OpKind, a: Self, b: Self, bin: BinOp) -> Self {
         if Recorder::is_enabled() {
             Recorder::fp_op(Self::FORMAT, kind, 0, 0);
         }
-        if Self::NATIVE_EXACT {
-            FlexFloat(Self::FORMAT.sanitize_f64(native))
-        } else {
-            let (ab, bb) = (a.to_bits(), b.to_bits());
-            let bits = match exact_kind {
-                ExactKind::Add => {
-                    tp_softfloat::ops::add(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
-                }
-                ExactKind::Sub => {
-                    tp_softfloat::ops::sub(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
-                }
-                ExactKind::Mul => {
-                    tp_softfloat::ops::mul(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
-                }
-                ExactKind::Div => {
-                    tp_softfloat::ops::div(Self::FORMAT, ab, bb, RoundingMode::NearestEven)
-                }
-            };
-            Self::from_bits(bits)
-        }
+        // The fallback is `Emulated` itself (native f64 + sanitize under
+        // the 2m+2 bound, integer kernels beyond), so the uninstalled path
+        // and an installed `Emulated` run the same code.
+        let val = backend::dispatch(|bk| bk.bin_op(Self::FORMAT, bin, a.0, b.0))
+            .unwrap_or_else(|| Emulated.bin_op(Self::FORMAT, bin, a.0, b.0));
+        FlexFloat(val)
     }
-}
-
-#[derive(Clone, Copy)]
-enum ExactKind {
-    Add,
-    Sub,
-    Mul,
-    Div,
 }
 
 impl<const E: u32, const M: u32> From<f64> for FlexFloat<E, M> {
@@ -247,28 +212,28 @@ impl<const E: u32, const M: u32> From<i32> for FlexFloat<E, M> {
 impl<const E: u32, const M: u32> Add for FlexFloat<E, M> {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self::sanitize_op(OpKind::AddSub, self.0 + rhs.0, self, rhs, ExactKind::Add)
+        Self::sanitize_op(OpKind::AddSub, self, rhs, BinOp::Add)
     }
 }
 
 impl<const E: u32, const M: u32> Sub for FlexFloat<E, M> {
     type Output = Self;
     fn sub(self, rhs: Self) -> Self {
-        Self::sanitize_op(OpKind::AddSub, self.0 - rhs.0, self, rhs, ExactKind::Sub)
+        Self::sanitize_op(OpKind::AddSub, self, rhs, BinOp::Sub)
     }
 }
 
 impl<const E: u32, const M: u32> Mul for FlexFloat<E, M> {
     type Output = Self;
     fn mul(self, rhs: Self) -> Self {
-        Self::sanitize_op(OpKind::Mul, self.0 * rhs.0, self, rhs, ExactKind::Mul)
+        Self::sanitize_op(OpKind::Mul, self, rhs, BinOp::Mul)
     }
 }
 
 impl<const E: u32, const M: u32> Div for FlexFloat<E, M> {
     type Output = Self;
     fn div(self, rhs: Self) -> Self {
-        Self::sanitize_op(OpKind::Div, self.0 / rhs.0, self, rhs, ExactKind::Div)
+        Self::sanitize_op(OpKind::Div, self, rhs, BinOp::Div)
     }
 }
 

@@ -19,6 +19,7 @@
 
 use tp_formats::{FpFormat, BINARY32};
 
+use crate::backend::{self, BinOp, Emulated, FpBackend};
 use crate::stats::{EventId, OpKind, Recorder};
 
 /// A floating-point value with a runtime-chosen format.
@@ -86,8 +87,10 @@ impl Fx {
         if Recorder::is_enabled() {
             Recorder::cast(self.fmt, dst);
         }
+        let val = backend::dispatch(|b| b.cast(self.fmt, dst, self.val))
+            .unwrap_or_else(|| dst.sanitize_f64(self.val));
         Fx {
-            val: dst.sanitize_f64(self.val),
+            val,
             fmt: dst,
             prod: 0,
         }
@@ -101,8 +104,10 @@ impl Fx {
         } else {
             0
         };
+        let val = backend::dispatch(|b| b.sqrt(self.fmt, self.val))
+            .unwrap_or_else(|| Emulated.sqrt(self.fmt, self.val));
         Fx {
-            val: self.fmt.sanitize_f64(self.val.sqrt()),
+            val,
             fmt: self.fmt,
             prod,
         }
@@ -117,58 +122,51 @@ impl Fx {
         }
     }
 
-    /// The smaller of two values (records one comparison op).
+    /// The smaller of two values — RISC-V `fmin` semantics: NaN loses to a
+    /// number, `-0 < +0` (records one comparison op).
     #[must_use]
     pub fn min(self, other: Self) -> Self {
-        let (a, b, fmt) = Self::promote(self, other);
-        let prod = if Recorder::is_enabled() {
-            Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod)
-        } else {
-            0
-        };
-        let val = if a.val.is_nan() || b.val <= a.val {
-            b.val
-        } else {
-            a.val
-        };
-        Fx { val, fmt, prod }
+        self.min_max(other, true)
     }
 
-    /// The larger of two values (records one comparison op).
+    /// The larger of two values — RISC-V `fmax` semantics: NaN loses to a
+    /// number, `-0 < +0` (records one comparison op).
     #[must_use]
     pub fn max(self, other: Self) -> Self {
+        self.min_max(other, false)
+    }
+
+    fn min_max(self, other: Self, want_min: bool) -> Self {
         let (a, b, fmt) = Self::promote(self, other);
         let prod = if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod)
         } else {
             0
         };
-        let val = if a.val.is_nan() || b.val >= a.val {
-            b.val
-        } else {
-            a.val
-        };
+        let val = backend::min_max(fmt, a.val, b.val, want_min);
         Fx { val, fmt, prod }
     }
 
-    /// `self < other` as a hardware comparison (records one op).
+    /// `self < other` as a hardware comparison — IEEE quiet predicate,
+    /// false on unordered (records one op).
     #[must_use]
     pub fn lt(self, other: Self) -> bool {
         let (a, b, fmt) = Self::promote(self, other);
         if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
         }
-        a.val < b.val
+        backend::dispatch(|bk| bk.lt(fmt, a.val, b.val)).unwrap_or(a.val < b.val)
     }
 
-    /// `self <= other` as a hardware comparison (records one op).
+    /// `self <= other` as a hardware comparison — IEEE quiet predicate,
+    /// false on unordered (records one op).
     #[must_use]
     pub fn le(self, other: Self) -> bool {
         let (a, b, fmt) = Self::promote(self, other);
         if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
         }
-        a.val <= b.val
+        backend::dispatch(|bk| bk.le(fmt, a.val, b.val)).unwrap_or(a.val <= b.val)
     }
 
     /// Promotes the less precise operand to the more precise format,
@@ -192,49 +190,49 @@ impl Fx {
         }
     }
 
-    fn bin_op(self, rhs: Fx, kind: OpKind, f: impl FnOnce(f64, f64) -> f64) -> Fx {
+    #[inline]
+    fn bin_op(self, rhs: Fx, kind: OpKind, op: BinOp) -> Fx {
         let (a, b, fmt) = Self::promote(self, rhs);
         let prod = if Recorder::is_enabled() {
             Recorder::fp_op(fmt, kind, a.prod, b.prod)
         } else {
             0
         };
-        let raw = f(a.val, b.val);
-        // Exact for every format the platform deploys (m <= 23 <= 25); the
-        // tuner never instantiates wider mantissas than binary32's.
-        Fx {
-            val: fmt.sanitize_f64(raw),
-            fmt,
-            prod,
-        }
+        // The fallback shares `Emulated`'s implementation (native f64 +
+        // sanitize where the 2m+2 bound holds, integer kernels beyond), so
+        // the uninstalled path and an installed `Emulated` are the same
+        // code — there is no second arithmetic to drift out of sync.
+        let val = backend::dispatch(|bk| bk.bin_op(fmt, op, a.val, b.val))
+            .unwrap_or_else(|| Emulated.bin_op(fmt, op, a.val, b.val));
+        Fx { val, fmt, prod }
     }
 }
 
 impl std::ops::Add for Fx {
     type Output = Fx;
     fn add(self, rhs: Fx) -> Fx {
-        self.bin_op(rhs, OpKind::AddSub, |a, b| a + b)
+        self.bin_op(rhs, OpKind::AddSub, BinOp::Add)
     }
 }
 
 impl std::ops::Sub for Fx {
     type Output = Fx;
     fn sub(self, rhs: Fx) -> Fx {
-        self.bin_op(rhs, OpKind::AddSub, |a, b| a - b)
+        self.bin_op(rhs, OpKind::AddSub, BinOp::Sub)
     }
 }
 
 impl std::ops::Mul for Fx {
     type Output = Fx;
     fn mul(self, rhs: Fx) -> Fx {
-        self.bin_op(rhs, OpKind::Mul, |a, b| a * b)
+        self.bin_op(rhs, OpKind::Mul, BinOp::Mul)
     }
 }
 
 impl std::ops::Div for Fx {
     type Output = Fx;
     fn div(self, rhs: Fx) -> Fx {
-        self.bin_op(rhs, OpKind::Div, |a, b| a / b)
+        self.bin_op(rhs, OpKind::Div, BinOp::Div)
     }
 }
 
@@ -520,6 +518,21 @@ mod tests {
                 .total(),
             4
         );
+    }
+
+    #[test]
+    fn wide_format_fx_is_correctly_rounded() {
+        // m = 40 > 25: computing in f64 and rounding again would
+        // double-round. True sum = 1 + 2^-41 + 2^-80, just above the
+        // halfway point of the 41-bit grid: correct rounding goes up to
+        // 1 + 2^-40, while the naive f64-then-sanitize path loses the
+        // 2^-80 sticky bit and ties-to-even back down to 1.0. The
+        // uninstalled path must share `Emulated`'s integer-kernel fallback.
+        let wide = FpFormat::new(11, 40).unwrap();
+        let a = Fx::new(1.0, wide);
+        let b = Fx::new(2f64.powi(-41) + 2f64.powi(-80), wide);
+        assert_eq!(b.value(), 2f64.powi(-41) + 2f64.powi(-80)); // exact operand
+        assert_eq!((a + b).value(), 1.0 + 2f64.powi(-40));
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //!   and [vectorizable](VectorSection) work, the cast matrix, memory traffic
 //!   per element width, and pipeline-dependency info consumed by the
 //!   `tp-platform` cost models.
+//! * [`backend`] — the pluggable execution datapaths. Every operation of
+//!   the two value layers dispatches through the thread's active
+//!   [`FpBackend`]: the zero-overhead native-`f64`
+//!   [`Emulated`](backend::Emulated) path (the default), the pure-integer
+//!   [`SoftFloat`](backend::SoftFloat) kernels with IEEE exception flags,
+//!   or the `FpuModel` cycle/energy adapter from `tp-fpu`. Backends swap
+//!   what is *measured*, never what is *computed* — results are
+//!   bit-identical across all three.
 //!
 //! # Quick start
 //!
@@ -47,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod config;
 mod flex;
 mod fx;
 mod stats;
 mod vector;
 
+pub use backend::{BinOp, Engine, FpBackend};
 pub use config::{TypeConfig, VarSpec};
 pub use flex::{Binary16, Binary16Alt, Binary32, Binary8, FlexFloat};
 pub use fx::{fx32, Fx, FxArray};

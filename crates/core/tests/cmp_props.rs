@@ -1,0 +1,118 @@
+//! Property tests: the NaN / signed-zero / ordering semantics of
+//! [`Fx::lt`] / [`Fx::le`] / [`Fx::min`] / [`Fx::max`] differentially
+//! against the `tp-softfloat` comparison kernels.
+//!
+//! The backend redesign routes comparisons through whichever
+//! [`FpBackend`](flexfloat::FpBackend) is active, so the emulated fast
+//! path, the explicit `Emulated` backend, and the `SoftFloat` backend must
+//! all agree with `tp_softfloat::cmp` on *every* encoding pair — including
+//! the cases native `f64` comparison gets subtly wrong for fmin/fmax
+//! (`-0` vs `+0`) and the unordered NaN cases. A silent divergence here
+//! would break the bit-identical-across-backends contract for any kernel
+//! that branches on a comparison.
+
+use std::sync::Arc;
+
+use flexfloat::backend::{Emulated, SoftFloat};
+use flexfloat::{Engine, Fx};
+use proptest::prelude::*;
+use tp_formats::{FpFormat, BINARY16, BINARY16ALT, BINARY32, BINARY8};
+use tp_softfloat::ops;
+
+const FORMATS: [FpFormat; 4] = [BINARY8, BINARY16, BINARY16ALT, BINARY32];
+
+fn format() -> impl Strategy<Value = FpFormat> {
+    (0usize..4).prop_map(|i| FORMATS[i])
+}
+
+/// Checks one `(a, b)` encoding pair in one format on the current thread's
+/// backend: every comparison primitive must match the softfloat reference.
+fn check_pair(fmt: FpFormat, a_bits: u64, b_bits: u64) -> Result<(), TestCaseError> {
+    let (va, vb) = (fmt.decode_to_f64(a_bits), fmt.decode_to_f64(b_bits));
+    let (a, b) = (Fx::new(va, fmt), Fx::new(vb, fmt));
+    // Fx canonicalizes NaN payloads on entry; compare against the
+    // canonicalized encodings so min/max bit results line up.
+    let (ca, cb) = (fmt.encode_in_grid(va), fmt.encode_in_grid(vb));
+
+    prop_assert_eq!(a.lt(b), ops::lt(fmt, ca, cb), "lt({:#x}, {:#x})", ca, cb);
+    prop_assert_eq!(a.le(b), ops::le(fmt, ca, cb), "le({:#x}, {:#x})", ca, cb);
+    prop_assert_eq!(
+        fmt.encode_in_grid(a.min(b).value()),
+        ops::min(fmt, ca, cb),
+        "min({:#x}, {:#x})",
+        ca,
+        cb
+    );
+    prop_assert_eq!(
+        fmt.encode_in_grid(a.max(b).value()),
+        ops::max(fmt, ca, cb),
+        "max({:#x}, {:#x})",
+        ca,
+        cb
+    );
+    Ok(())
+}
+
+/// Runs a check on the default path and under both in-core backends.
+fn check_everywhere(fmt: FpFormat, a_bits: u64, b_bits: u64) -> Result<(), TestCaseError> {
+    check_pair(fmt, a_bits, b_bits)?;
+    Engine::with(Arc::new(Emulated), || check_pair(fmt, a_bits, b_bits))?;
+    Engine::with(Arc::new(SoftFloat::new()), || {
+        check_pair(fmt, a_bits, b_bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Arbitrary encoding pairs (the full space, so NaN payloads,
+    /// infinities, subnormals and both zeros all occur) agree with the
+    /// softfloat comparison kernels on every backend.
+    #[test]
+    fn comparisons_match_softfloat(
+        fmt in format(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        check_everywhere(fmt, a & fmt.bits_mask(), b & fmt.bits_mask())?;
+    }
+}
+
+/// The adversarial corner cases, exhaustively paired: both zeros, extreme
+/// finites, infinities, and NaN — where the `-0 < +0` fmin/fmax rule and
+/// the unordered predicates live.
+#[test]
+fn special_value_pairs_exhaustive() {
+    for fmt in FORMATS {
+        let specials = [
+            fmt.zero_bits(false),
+            fmt.zero_bits(true),
+            fmt.min_subnormal_bits(),
+            fmt.min_subnormal_bits() | fmt.zero_bits(true),
+            fmt.min_normal_bits(),
+            fmt.max_finite_bits(false),
+            fmt.max_finite_bits(true),
+            fmt.inf_bits(false),
+            fmt.inf_bits(true),
+            fmt.quiet_nan_bits(),
+            fmt.pack(false, fmt.bias() as u64, 0), // 1.0
+            fmt.pack(true, fmt.bias() as u64, 0),  // -1.0
+        ];
+        for &a in &specials {
+            for &b in &specials {
+                check_everywhere(fmt, a, b).unwrap();
+            }
+        }
+    }
+}
+
+/// All 65 536 binary8 encoding pairs, on the default path — the exhaustive
+/// anchor for the sampled sweep above.
+#[test]
+fn binary8_all_pairs_exhaustive() {
+    for a in 0..=0xFFu64 {
+        for b in 0..=0xFFu64 {
+            check_pair(tp_formats::BINARY8, a, b).unwrap();
+        }
+    }
+}

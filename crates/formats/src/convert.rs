@@ -246,6 +246,78 @@ impl FpFormat {
         self.round_trip_f64(x, RoundingMode::NearestEven)
     }
 
+    /// Direct encoding of an `f64` that is already on this format's grid —
+    /// the inverse of [`FpFormat::decode_to_f64`], without the rounding
+    /// machinery of [`FpFormat::round_from_f64`].
+    ///
+    /// This is the hot encode path for values that are known to be
+    /// *sanitized* (every backing value of a `flexfloat` type is): the
+    /// significand is shifted into place with a handful of integer
+    /// operations and no guard/sticky bookkeeping. Off-grid inputs are a
+    /// caller bug; they are caught by `debug_assert!` and, in release
+    /// builds, fall back to the correctly-rounded
+    /// (`RoundingMode::NearestEven`) conversion so the result is still
+    /// well-defined.
+    ///
+    /// ```
+    /// use tp_formats::BINARY8;
+    ///
+    /// for bits in 0..=0xFFu64 {
+    ///     let v = BINARY8.decode_to_f64(bits);
+    ///     if v.is_nan() {
+    ///         assert_eq!(BINARY8.encode_in_grid(v), BINARY8.quiet_nan_bits());
+    ///     } else {
+    ///         assert_eq!(BINARY8.encode_in_grid(v), bits);
+    ///     }
+    /// }
+    /// ```
+    #[must_use]
+    pub fn encode_in_grid(self, x: f64) -> u64 {
+        if x.is_nan() {
+            return self.quiet_nan_bits();
+        }
+        let sign = x.is_sign_negative();
+        if x.is_infinite() {
+            return self.inf_bits(sign);
+        }
+        if x == 0.0 {
+            return self.zero_bits(sign);
+        }
+
+        // Decompose |x| = sig * 2^(e - 52) with sig normalised in [2^52, 2^53).
+        let xb = x.abs().to_bits();
+        let e64 = (xb >> 52) as i32;
+        let m64 = xb & ((1u64 << 52) - 1);
+        let (sig, e) = if e64 == 0 {
+            let hb = 63 - m64.leading_zeros() as i32;
+            let shift = 52 - hb;
+            (m64 << shift, -1022 - shift)
+        } else {
+            ((1u64 << 52) | m64, e64 - 1023)
+        };
+
+        let m = self.man_bits() as i32;
+        let tiny = e < self.emin();
+        let discard = if tiny {
+            52 - m + (self.emin() - e)
+        } else {
+            52 - m
+        };
+        let in_grid =
+            e <= self.emax() && (0..=52).contains(&discard) && sig & ((1u64 << discard) - 1) == 0;
+        if !in_grid {
+            debug_assert!(false, "{self}: {x:e} is not on the format grid");
+            return self.round_from_f64(x, RoundingMode::NearestEven).bits;
+        }
+        let kept = sig >> discard;
+        if tiny {
+            self.pack(sign, 0, kept)
+        } else {
+            let exp_field = (e + self.bias()) as u64;
+            self.pack(sign, exp_field, kept & self.man_mask())
+        }
+    }
+
     /// Returns `true` if `x` is exactly representable in this format.
     #[must_use]
     pub fn represents(self, x: f64) -> bool {
@@ -494,6 +566,81 @@ mod tests {
         // 1e30 is in binary16alt's range but not on its 8-bit mantissa grid.
         assert!(!BINARY16ALT.represents(1e30));
         assert!(BINARY16ALT.represents(2f64.powi(100)));
+    }
+
+    #[test]
+    fn encode_in_grid_binary8_exhaustive_round_trip() {
+        // Every one of the 256 encodings decodes and re-encodes to itself
+        // (NaNs collapse to the canonical quiet NaN, as decode loses the
+        // payload by design).
+        for bits in 0..=0xFFu64 {
+            let v = BINARY8.decode_to_f64(bits);
+            let want = if v.is_nan() {
+                BINARY8.quiet_nan_bits()
+            } else {
+                bits
+            };
+            assert_eq!(BINARY8.encode_in_grid(v), want, "bits {bits:#010b}");
+        }
+    }
+
+    #[test]
+    fn encode_in_grid_matches_round_from_f64_on_sanitized_values() {
+        // For any f64, sanitizing and then direct-encoding must equal the
+        // one-step correctly-rounded conversion, across all named formats.
+        let samples = [
+            0.0,
+            -0.0,
+            0.1,
+            1.0,
+            -1.5,
+            std::f64::consts::PI,
+            6.1e-5,
+            1e-40,
+            1e-45,
+            1e-320,
+            65504.0,
+            1e38,
+            3.5e38,
+            1e300,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32, BINARY64] {
+            for &x in &samples {
+                for x in [x, -x] {
+                    let want = fmt.round_from_f64(x, RoundingMode::NearestEven).bits;
+                    let sanitized = fmt.sanitize_f64(x);
+                    assert_eq!(
+                        fmt.encode_in_grid(sanitized),
+                        want,
+                        "{fmt} x = {x:e} (sanitized {sanitized:e})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_in_grid_boundary_encodings() {
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            for bits in [
+                fmt.zero_bits(false),
+                fmt.zero_bits(true),
+                fmt.min_subnormal_bits(),
+                fmt.min_normal_bits(),
+                fmt.max_finite_bits(false),
+                fmt.max_finite_bits(true),
+                fmt.inf_bits(false),
+                fmt.inf_bits(true),
+                fmt.pack(false, fmt.bias() as u64, 1),
+            ] {
+                let v = fmt.decode_to_f64(bits);
+                assert_eq!(fmt.encode_in_grid(v), bits, "{fmt} bits {bits:#x}");
+            }
+        }
     }
 
     #[test]

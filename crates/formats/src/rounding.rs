@@ -8,6 +8,16 @@ use std::fmt;
 /// DesignWare datapaths) uses [`RoundingMode::NearestEven`] everywhere;
 /// the remaining modes are provided for completeness and for testing the
 /// emulation back-ends against each other.
+///
+/// # The default spelling
+///
+/// `RoundingMode::default()` **is** `NearestEven`, and call sites that mean
+/// "the platform's default rounding" spell it `RoundingMode::default()`
+/// (never the equivalent but anonymous `Default::default()`). Reserve the
+/// explicit `RoundingMode::NearestEven` for places where nearest-even is a
+/// *semantic requirement* — differential tests against another datapath,
+/// IEEE conformance sweeps — rather than a configuration that happens to
+/// have a default.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum RoundingMode {
     /// `roundTiesToEven` — round to nearest, ties to even mantissa (default).

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cross;
 mod cycles;
 mod energy;
 mod memory;
 mod params;
 
+pub use cross::{cross_validate, CrossReport};
 pub use cycles::{cycle_report, CycleReport};
 pub use energy::{energy_report, EnergyReport};
 pub use memory::{memory_report, MemoryReport};

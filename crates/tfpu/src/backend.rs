@@ -1,0 +1,311 @@
+//! [`FpuModel`] — the [`SmallFloatUnit`] as a pluggable `flexfloat`
+//! execution backend.
+//!
+//! Installing this backend (via `flexfloat::Engine::with`) routes every
+//! `Fx`/`FlexFloat` operation through the microarchitectural FPU model:
+//! add/sub/mul in the four platform formats execute on
+//! [`SmallFloatUnit::scalar`] and accumulate the unit's *measured* latency
+//! and energy, conversions go through [`SmallFloatUnit::convert`], and the
+//! operations the unit does not implement in hardware — division, square
+//! root (software-emulated on the PULPino core, exactly as in the paper)
+//! and the quiet comparisons — fall back to the bit-exact `tp-softfloat`
+//! kernels while being counted separately in [`MeasuredStats`].
+//!
+//! Results are **bit-identical** to the other two backends for every
+//! operation (the unit's datapaths are the same softfloat kernels), so a
+//! kernel run under `FpuModel` produces the same outputs and
+//! `TraceCounts` as the emulated fast path — plus a measured
+//! cycle/energy account that `tp-platform` cross-validates against its
+//! analytic [`CycleReport`](../tp_platform/struct.CycleReport.html).
+
+use std::sync::Mutex;
+
+use flexfloat::backend::{BinOp, FlagSet, FpBackend};
+use tp_formats::{FormatKind, FpFormat, RoundingMode};
+use tp_softfloat::ops;
+
+use crate::op::ArithOp;
+use crate::unit::{FpuStats, SmallFloatUnit};
+
+/// Execution counts accumulated by an [`FpuModel`] backend: the unit's own
+/// statistics plus the operations the unit has no hardware block for.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeasuredStats {
+    /// Statistics of the instructions the `SmallFloatUnit` executed
+    /// (arithmetic in the four platform formats, and conversions).
+    pub fpu: FpuStats,
+    /// Divisions, software-emulated (no divider slice in Fig. 3).
+    pub emulated_div: u64,
+    /// Square roots, software-emulated.
+    pub emulated_sqrt: u64,
+    /// Fused multiply-adds, software-emulated (the unit has no FMA block).
+    pub emulated_fma: u64,
+    /// Quiet comparisons / min / max (single-cycle, no datapath toggling).
+    pub cmp_ops: u64,
+    /// Operations in formats outside the platform's four storage kinds
+    /// (e.g. tuning probes), computed bit-exactly in software with no
+    /// hardware account.
+    pub off_grid_ops: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    unit: SmallFloatUnit,
+    counts: MeasuredStats,
+}
+
+/// The `SmallFloatUnit` adapter backend: routes `flexfloat` operations
+/// through the FPU cycle/energy model, accumulating [`MeasuredStats`].
+///
+/// The backend is shared as `Arc<dyn FpBackend>` and may be installed on
+/// several worker threads at once; the unit state is behind a mutex
+/// (kernel evaluation is single-threaded per run, so there is no
+/// contention in practice — the lock is for soundness, not throughput).
+///
+/// ```
+/// use std::sync::Arc;
+/// use flexfloat::{Engine, Fx};
+/// use tp_formats::BINARY8;
+/// use tp_fpu::FpuModel;
+///
+/// let fpu = Arc::new(FpuModel::new());
+/// let out = Engine::with(fpu.clone(), || {
+///     let a = Fx::new(1.5, BINARY8);
+///     let b = Fx::new(0.25, BINARY8);
+///     (a + b).value()
+/// });
+/// assert_eq!(out, 1.75); // bit-identical to the emulated path
+/// let stats = fpu.stats();
+/// assert_eq!(stats.fpu.instructions, 1);
+/// assert_eq!(stats.fpu.total_latency, 1); // binary8 add is single-cycle
+/// assert!(stats.fpu.total_energy_pj > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct FpuModel {
+    inner: Mutex<Inner>,
+}
+
+impl FpuModel {
+    /// A backend over a unit with the paper-calibrated energy table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A backend over a unit with a custom energy table.
+    #[must_use]
+    pub fn with_unit(unit: SmallFloatUnit) -> Self {
+        FpuModel {
+            inner: Mutex::new(Inner {
+                unit,
+                counts: MeasuredStats::default(),
+            }),
+        }
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MeasuredStats {
+        let inner = self.lock();
+        MeasuredStats {
+            fpu: inner.unit.stats(),
+            ..inner.counts
+        }
+    }
+
+    /// Resets all accumulated statistics.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.unit.reset();
+        inner.counts = MeasuredStats::default();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("FpuModel state poisoned")
+    }
+}
+
+fn enc(fmt: FpFormat, x: f64) -> u64 {
+    fmt.encode_in_grid(x)
+}
+
+impl FpBackend for FpuModel {
+    fn name(&self) -> &'static str {
+        "fpu-model"
+    }
+
+    fn bin_op(&self, fmt: FpFormat, op: BinOp, a: f64, b: f64) -> f64 {
+        let mut inner = self.lock();
+        let (ab, bb) = (enc(fmt, a), enc(fmt, b));
+        let bits = match (FormatKind::of_format(fmt), op) {
+            (Some(kind), BinOp::Add) => inner.unit.scalar(ArithOp::Add, kind, ab, bb).lanes[0],
+            (Some(kind), BinOp::Sub) => inner.unit.scalar(ArithOp::Sub, kind, ab, bb).lanes[0],
+            (Some(kind), BinOp::Mul) => inner.unit.scalar(ArithOp::Mul, kind, ab, bb).lanes[0],
+            (Some(_), BinOp::Div) => {
+                // No divider slice: emulated in software on the core.
+                inner.counts.emulated_div += 1;
+                ops::div(fmt, ab, bb, RoundingMode::default())
+            }
+            (None, _) => {
+                inner.counts.off_grid_ops += 1;
+                match op {
+                    BinOp::Add => ops::add(fmt, ab, bb, RoundingMode::default()),
+                    BinOp::Sub => ops::sub(fmt, ab, bb, RoundingMode::default()),
+                    BinOp::Mul => ops::mul(fmt, ab, bb, RoundingMode::default()),
+                    BinOp::Div => ops::div(fmt, ab, bb, RoundingMode::default()),
+                }
+            }
+        };
+        fmt.decode_to_f64(bits)
+    }
+
+    fn sqrt(&self, fmt: FpFormat, x: f64) -> f64 {
+        let mut inner = self.lock();
+        if FormatKind::of_format(fmt).is_some() {
+            inner.counts.emulated_sqrt += 1;
+        } else {
+            inner.counts.off_grid_ops += 1;
+        }
+        fmt.decode_to_f64(ops::sqrt(fmt, enc(fmt, x), RoundingMode::default()))
+    }
+
+    fn fma(&self, fmt: FpFormat, a: f64, b: f64, c: f64) -> f64 {
+        let mut inner = self.lock();
+        if FormatKind::of_format(fmt).is_some() {
+            inner.counts.emulated_fma += 1;
+        } else {
+            inner.counts.off_grid_ops += 1;
+        }
+        let bits = ops::fused_mul_add(
+            fmt,
+            enc(fmt, a),
+            enc(fmt, b),
+            enc(fmt, c),
+            RoundingMode::default(),
+        );
+        fmt.decode_to_f64(bits)
+    }
+
+    fn cast(&self, from: FpFormat, to: FpFormat, x: f64) -> f64 {
+        let mut inner = self.lock();
+        match (FormatKind::of_format(from), FormatKind::of_format(to)) {
+            (Some(fk), Some(tk)) => {
+                let issue = inner.unit.convert(fk, tk, enc(from, x));
+                to.decode_to_f64(issue.lanes[0])
+            }
+            _ => {
+                inner.counts.off_grid_ops += 1;
+                to.decode_to_f64(ops::convert(
+                    from,
+                    to,
+                    enc(from, x),
+                    RoundingMode::default(),
+                ))
+            }
+        }
+    }
+
+    fn min(&self, fmt: FpFormat, a: f64, b: f64) -> f64 {
+        self.lock().counts.cmp_ops += 1;
+        fmt.decode_to_f64(ops::min(fmt, enc(fmt, a), enc(fmt, b)))
+    }
+
+    fn max(&self, fmt: FpFormat, a: f64, b: f64) -> f64 {
+        self.lock().counts.cmp_ops += 1;
+        fmt.decode_to_f64(ops::max(fmt, enc(fmt, a), enc(fmt, b)))
+    }
+
+    fn lt(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
+        self.lock().counts.cmp_ops += 1;
+        ops::lt(fmt, enc(fmt, a), enc(fmt, b))
+    }
+
+    fn le(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
+        self.lock().counts.cmp_ops += 1;
+        ops::le(fmt, enc(fmt, a), enc(fmt, b))
+    }
+
+    fn flags(&self) -> FlagSet {
+        FlagSet::NONE // the unit model does not expose fflags (yet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexfloat::{Engine, Fx};
+    use std::sync::Arc;
+    use tp_formats::{BINARY16, BINARY32, BINARY8};
+
+    #[test]
+    fn arithmetic_matches_emulated_path() {
+        let fpu = Arc::new(FpuModel::new());
+        for (x, y) in [(1.5, 0.25), (1.75, 1.75), (-3.0, 2.0), (0.1, 0.2)] {
+            for fmt in [BINARY8, BINARY16, BINARY32] {
+                let plain = {
+                    let (a, b) = (Fx::new(x, fmt), Fx::new(y, fmt));
+                    [
+                        (a + b).value(),
+                        (a - b).value(),
+                        (a * b).value(),
+                        (a / b).value(),
+                    ]
+                };
+                let measured = Engine::with(fpu.clone(), || {
+                    let (a, b) = (Fx::new(x, fmt), Fx::new(y, fmt));
+                    [
+                        (a + b).value(),
+                        (a - b).value(),
+                        (a * b).value(),
+                        (a / b).value(),
+                    ]
+                });
+                assert_eq!(plain, measured, "{fmt} {x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_stats_accumulate_per_class() {
+        let fpu = Arc::new(FpuModel::new());
+        Engine::with(fpu.clone(), || {
+            let a = Fx::new(1.5, BINARY16);
+            let b = Fx::new(0.5, BINARY16);
+            let _ = a + b; // unit
+            let _ = a * b; // unit
+            let _ = a / b; // emulated
+            let _ = a.sqrt(); // emulated
+            let _ = a.min(b); // cmp
+            let _ = a.lt(b); // cmp
+            let _ = a.to(BINARY8); // unit conversion
+        });
+        let s = fpu.stats();
+        assert_eq!(s.fpu.instructions, 3); // add, mul, convert
+        assert_eq!(s.emulated_div, 1);
+        assert_eq!(s.emulated_sqrt, 1);
+        assert_eq!(s.cmp_ops, 2);
+        assert_eq!(s.off_grid_ops, 0);
+        // 16-bit arithmetic is 2-cycle, the conversion 1-cycle.
+        assert_eq!(s.fpu.total_latency, 2 + 2 + 1);
+        fpu.reset();
+        assert_eq!(fpu.stats(), MeasuredStats::default());
+    }
+
+    #[test]
+    fn off_grid_formats_fall_back_bit_exactly() {
+        let fpu = Arc::new(FpuModel::new());
+        let odd = FpFormat::new(6, 5).unwrap();
+        let plain = {
+            let (a, b) = (Fx::new(1.3, odd), Fx::new(0.7, odd));
+            (a * b).value()
+        };
+        let measured = Engine::with(fpu.clone(), || {
+            let (a, b) = (Fx::new(1.3, odd), Fx::new(0.7, odd));
+            (a * b).value()
+        });
+        assert_eq!(plain, measured);
+        let s = fpu.stats();
+        assert_eq!(s.off_grid_ops, 1);
+        assert_eq!(s.fpu.instructions, 0);
+    }
+}

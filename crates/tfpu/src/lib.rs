@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod energy;
 mod op;
 mod slices;
 mod unit;
 
+pub use backend::{FpuModel, MeasuredStats};
 pub use energy::EnergyTable;
 pub use op::{ArithOp, FpuOp};
 pub use slices::{SliceActivity, SliceKind};

@@ -41,12 +41,12 @@ pub struct FpuStats {
 /// latency and energy come from the slice model and the [`EnergyTable`].
 ///
 /// ```
-/// use tp_formats::{FormatKind, BINARY8};
+/// use tp_formats::{FormatKind, RoundingMode, BINARY8};
 /// use tp_fpu::{ArithOp, SmallFloatUnit};
 ///
 /// let mut fpu = SmallFloatUnit::new();
-/// let a = BINARY8.round_from_f64(1.5, Default::default()).bits;
-/// let b = BINARY8.round_from_f64(0.25, Default::default()).bits;
+/// let a = BINARY8.round_from_f64(1.5, RoundingMode::default()).bits;
+/// let b = BINARY8.round_from_f64(0.25, RoundingMode::default()).bits;
 /// let issue = fpu.scalar(ArithOp::Add, FormatKind::Binary8, a, b);
 /// assert_eq!(BINARY8.decode_to_f64(issue.lanes[0]), 1.75);
 /// assert_eq!(issue.latency, 1); // binary8 arithmetic is single-cycle

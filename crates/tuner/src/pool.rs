@@ -11,6 +11,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use flexfloat::Engine;
+
 /// Resolves a requested worker count.
 ///
 /// `0` means *auto*: the `TP_WORKERS` environment variable if set to a
@@ -38,6 +40,13 @@ pub fn resolve_workers(requested: usize) -> usize {
 /// inline, in order — the sequential and parallel paths execute the exact
 /// same per-index work, only the interleaving differs. A panicking worker
 /// propagates out of the call (via [`std::thread::scope`]).
+///
+/// The caller's active execution backend ([`flexfloat::Engine::current`])
+/// is re-installed on every worker thread, so a fan-out under
+/// `Engine::with(backend, ...)` evaluates every index on that backend —
+/// this is what keeps tuning runs backend-generic *and* worker-count
+/// invariant (backends are bit-identical, so the interleaving still cannot
+/// change any result).
 pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -47,17 +56,26 @@ where
     if w <= 1 {
         return (0..n).map(f).collect();
     }
+    let backend = Engine::current();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
+        let (f, next, slots) = (&f, &next, &slots);
         for _ in 0..w {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let backend = backend.clone();
+            scope.spawn(move || {
+                let work = || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                };
+                match backend {
+                    Some(b) => Engine::with(b, work),
+                    None => work(),
                 }
-                let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
@@ -74,13 +92,20 @@ where
 /// Runs two closures concurrently — `b` on a scoped thread, `a` on the
 /// caller — and returns both results. Used for speculative candidate
 /// probes where the sequential driver would short-circuit.
+///
+/// Like [`parallel_map`], the caller's active execution backend is
+/// re-installed on the spawned side.
 pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
 where
     A: Send,
     B: Send,
 {
+    let backend = Engine::current();
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(move || match backend {
+            Some(bk) => Engine::with(bk, b),
+            None => b(),
+        });
         let ra = a();
         (ra, hb.join().expect("joined worker panicked"))
     })
@@ -114,6 +139,22 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 100);
         assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn workers_inherit_the_active_backend() {
+        use flexfloat::backend::SoftFloat;
+        use std::sync::Arc;
+
+        let names = Engine::with(Arc::new(SoftFloat::new()), || {
+            parallel_map(4, 8, |_| Engine::active_name().to_owned())
+        });
+        assert!(names.iter().all(|n| n == "softfloat"), "{names:?}");
+
+        let (a, b) = Engine::with(Arc::new(SoftFloat::new()), || {
+            join2(Engine::active_name, Engine::active_name)
+        });
+        assert_eq!((a, b), ("softfloat", "softfloat"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The [`Tunable`] contract between applications and the tuner.
 
-use flexfloat::{TypeConfig, VarSpec};
+use std::sync::Arc;
+
+use flexfloat::{Engine, FpBackend, TypeConfig, VarSpec};
 
 /// A program whose floating-point variables can be precision-tuned.
 ///
@@ -24,7 +26,30 @@ pub trait Tunable: Send + Sync {
 
     /// Runs the program under `config` on the given input set and returns
     /// its outputs (the values whose quality is constrained).
+    ///
+    /// Implementations are **backend-generic** without doing anything: they
+    /// write plain `Fx`/`FxArray` arithmetic, and every operation
+    /// dispatches through the thread's active
+    /// [`FpBackend`](flexfloat::FpBackend) (the emulated fast path when
+    /// none is installed). Since all backends are bit-identical, the
+    /// outputs — and the recorded
+    /// [`TraceCounts`](flexfloat::TraceCounts) — do not depend on which
+    /// backend hosts the run; only the backend's own measurements do.
     fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64>;
+
+    /// Runs the program with `backend` installed as the executing datapath
+    /// (scoped to this call; see [`Engine::with`]).
+    ///
+    /// This is the entry point harnesses use to execute a kernel on the
+    /// `SoftFloat` or `FpuModel` datapath without the kernel knowing.
+    fn run_on(
+        &self,
+        backend: Arc<dyn FpBackend>,
+        config: &TypeConfig,
+        input_set: usize,
+    ) -> Vec<f64> {
+        Engine::with(backend, || self.run(config, input_set))
+    }
 
     /// The golden output for an input set. Defaults to running the
     /// program with every variable in binary32, matching the paper's use of
@@ -53,6 +78,25 @@ mod tests {
             let x = flexfloat::Fx::new(1.1 * (input_set + 1) as f64, fmt);
             vec![(x + x).value()]
         }
+    }
+
+    #[test]
+    fn run_on_installs_the_backend_for_the_call() {
+        struct Probe;
+        impl Tunable for Probe {
+            fn name(&self) -> &str {
+                "PROBE"
+            }
+            fn variables(&self) -> Vec<VarSpec> {
+                vec![]
+            }
+            fn run(&self, _config: &TypeConfig, _input_set: usize) -> Vec<f64> {
+                assert_eq!(Engine::active_name(), "softfloat");
+                vec![]
+            }
+        }
+        let backend = Arc::new(flexfloat::backend::SoftFloat::new());
+        let _ = Probe.run_on(backend, &TypeConfig::baseline(), 0);
     }
 
     #[test]

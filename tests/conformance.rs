@@ -158,6 +158,31 @@ fn binary16_formats_randomized_sweep() {
     }
 }
 
+/// Backend dispatch preserves conformance: the exhaustive binary8 sweep of
+/// [`binary8_exhaustive_all_ops`], re-run through `Fx` with each of the
+/// three named backends installed (`Engine::with` scoping). Same reference,
+/// same bits — a dispatch-layer bug (wrong operand order, missed
+/// sanitization, stale format) cannot hide behind the kernel-level
+/// equivalence suite because every encoding pair is visited here.
+#[test]
+fn binary8_exhaustive_through_every_backend() {
+    let fmt = tp_formats::BINARY8;
+    for name in tp_bench::BACKEND_NAMES {
+        let backend = tp_bench::backend_by_name(name).expect(name);
+        flexfloat::Engine::with(backend, || {
+            for a in 0u64..256 {
+                for b in 0u64..256 {
+                    for op in OPS {
+                        let want = softfloat_op(fmt, op, a, b);
+                        let got = fx_op(fmt, op, a, b);
+                        assert_eq!(got, want, "Fx/binary8 on {name}: {op}({a:#04x}, {b:#04x})");
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// Spot anchors so a systematic regression fails with a readable message
 /// before the exhaustive sweeps drown it in thousands of mismatches.
 #[test]

@@ -104,6 +104,32 @@ fn evaluate_app_is_worker_count_invariant() {
     assert_eq!(seq.tuned.energy.total(), par.tuned.energy.total());
 }
 
+/// Worker-count invariance composes with backend choice: the chosen
+/// formats agree across the full {backend} × {workers} matrix. (Backends
+/// are bit-identical — tests/backends.rs — so scheduling differences on a
+/// slower datapath still cannot move any decision.)
+#[test]
+fn determinism_holds_under_every_backend() {
+    let app = Conv::small();
+    let want = fingerprint(&distributed_search(
+        &app,
+        SearchParams::paper(1e-1).with_workers(1),
+    ));
+    for name in tp_bench::BACKEND_NAMES {
+        for workers in [1usize, 4] {
+            let backend = tp_bench::backend_by_name(name).expect(name);
+            let outcome = flexfloat::Engine::with(backend, || {
+                distributed_search(&app, SearchParams::paper(1e-1).with_workers(workers))
+            });
+            assert_eq!(
+                fingerprint(&outcome),
+                want,
+                "backend={name} workers={workers} diverged"
+            );
+        }
+    }
+}
+
 /// `TP_WORKERS` only matters when the requested count is 0 (auto); an
 /// explicit worker count must win over the environment.
 ///
