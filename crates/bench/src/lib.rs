@@ -17,7 +17,7 @@ use tp_fpu::FpuModel;
 use tp_platform::{cross_validate, evaluate, CrossReport, PlatformParams, PlatformReport};
 use tp_tuner::{
     distributed_search, parallel_map, resolve_workers, validated_storage_config, SearchParams,
-    Tunable, TuningOutcome,
+    Tunable, TunerMode, TuningOutcome,
 };
 
 /// The three output-quality thresholds of the evaluation
@@ -112,23 +112,29 @@ pub fn record_run(app: &dyn Tunable, config: &TypeConfig) -> TraceCounts {
 }
 
 /// Tunes `app` at `threshold` and evaluates baseline + tuned runs on the
-/// platform model, with the auto worker count (`TP_WORKERS` override).
+/// platform model, with the auto worker count (`TP_WORKERS` override) and
+/// the auto tuner mode (`TP_TUNER_MODE` override, default replay).
 #[must_use]
 pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) -> AppResult {
-    evaluate_app_with(app, threshold, params, 0)
+    evaluate_app_with(app, threshold, params, 0, TunerMode::from_env())
 }
 
 /// [`evaluate_app`] with an explicit worker count for the precision search
-/// (`0` = auto). The result is bit-identical at any worker count;
-/// [`TuningOutcome::evaluations`] aside.
+/// (`0` = auto) and an explicit [`TunerMode`]. The result is bit-identical
+/// at any worker count *and* in either mode;
+/// [`TuningOutcome::evaluations`] aside for workers,
+/// [`TuningOutcome::replay`] aside for the mode.
 #[must_use]
 pub fn evaluate_app_with(
     app: &dyn Tunable,
     threshold: f64,
     params: &PlatformParams,
     workers: usize,
+    mode: TunerMode,
 ) -> AppResult {
-    let search = SearchParams::paper(threshold).with_workers(workers);
+    let search = SearchParams::paper(threshold)
+        .with_workers(workers)
+        .with_mode(mode);
     let outcome = distributed_search(app, search);
     let storage = validated_storage_config(app, &outcome, TypeSystem::V2, search.input_sets);
     let baseline_counts = record_run(app, &TypeConfig::baseline());
@@ -148,26 +154,30 @@ pub fn evaluate_app_with(
 }
 
 /// Evaluates the whole suite at one threshold, fanning the kernels out over
-/// the auto worker count (`TP_WORKERS` override).
+/// the auto worker count (`TP_WORKERS` override) with the auto tuner mode
+/// (`TP_TUNER_MODE` override, default replay).
 #[must_use]
 pub fn evaluate_suite(threshold: f64, params: &PlatformParams) -> Vec<AppResult> {
-    evaluate_suite_with(threshold, params, 0)
+    evaluate_suite_with(threshold, params, 0, TunerMode::from_env())
 }
 
-/// [`evaluate_suite`] with an explicit worker budget (`0` = auto).
+/// [`evaluate_suite`] with an explicit worker budget (`0` = auto) and an
+/// explicit [`TunerMode`].
 ///
 /// The budget is split between the two fan-out levels: one worker per
 /// kernel first, and any surplus handed down to each kernel's precision
 /// search. Results come back in suite order and are bit-identical to the
-/// sequential evaluation at any worker count (evaluation counts aside).
+/// sequential evaluation at any worker count and in either mode
+/// (evaluation counts / replay summaries aside).
 #[must_use]
 pub fn evaluate_suite_with(
     threshold: f64,
     params: &PlatformParams,
     workers: usize,
+    mode: TunerMode,
 ) -> Vec<AppResult> {
     suite_fan_out(workers, |app, inner| {
-        evaluate_app_with(app, threshold, params, inner)
+        evaluate_app_with(app, threshold, params, inner, mode)
     })
 }
 

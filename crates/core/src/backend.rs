@@ -131,6 +131,124 @@ pub trait FpBackend: Send + Sync {
 
     /// Clears the accumulated exception flags.
     fn clear_flags(&self) {}
+
+    /// The backend's tape sink, if it records an operation tape.
+    ///
+    /// This is the hook surface the `tp-trace` recording backend plugs
+    /// into: when the active backend returns a sink, the [`Fx`](crate::Fx)
+    /// / [`FxArray`](crate::FxArray) layer reports every *logical*
+    /// operation — pre-promotion, with SSA value ids — so the sink can
+    /// build a replayable tape (see DESIGN.md §7). Ordinary compute
+    /// backends return `None` (the default) and pay nothing.
+    fn tape(&self) -> Option<&dyn TapeSink> {
+        None
+    }
+}
+
+/// Identifier of a traced SSA value (1-based; `0` = untraced). Every
+/// [`Fx`](crate::Fx) carries the id the active [`TapeSink`] assigned to it,
+/// so later operations can name their operands exactly — by *identity*, not
+/// by bit pattern, which is what makes replay dataflow-exact even when two
+/// distinct values happen to be bitwise equal.
+pub type ValueId = u32;
+
+/// Identifier of a traced array (1-based; `0` = untraced), carried by
+/// [`FxArray`](crate::FxArray) so loads and stores name their storage.
+pub type ArrayId = u32;
+
+/// Observer interface for the *logical* (pre-promotion) operation stream of
+/// the [`Fx`](crate::Fx) / [`FxArray`](crate::FxArray) layer.
+///
+/// A backend that returns `Some(self)` from [`FpBackend::tape`] receives one
+/// call per logical operation, *in execution order*, in addition to the
+/// normal compute dispatch. Methods that produce a value return the
+/// [`ValueId`] to attach to the result; the ids are the tape's SSA names.
+///
+/// Two deliberate asymmetries against the compute interface:
+///
+/// * **Pre-promotion.** [`TapeSink::bin_op`] and friends see the original
+///   operand ids, *before* `Fx` promotes mixed formats — promotion is a
+///   function of the formats in force, which a replay under a different
+///   [`TypeConfig`](crate::TypeConfig) must re-derive, not copy.
+/// * **Sign ops are included.** `neg`/`abs` are free sign manipulations
+///   that the [`Recorder`](crate::Recorder) ignores, but they transform
+///   values, so a dataflow-exact tape must see them.
+///
+/// Operand ids of `0` mean a value that was created while no sink was
+/// active; sinks should treat the trace as unreplayable in that case rather
+/// than guess the value's provenance.
+pub trait TapeSink {
+    /// A literal/initialization entering the traced region: `raw` is the
+    /// value *before* rounding into `fmt` (replay re-rounds it into the
+    /// format the candidate configuration assigns).
+    fn leaf(&self, fmt: FpFormat, raw: f64) -> ValueId;
+
+    /// A new array initialized from `raw` values (pre-rounding).
+    fn array_new(&self, fmt: FpFormat, raw: &[f64]) -> ArrayId;
+
+    /// A new zero-filled array of `len` elements.
+    fn array_zeros(&self, fmt: FpFormat, len: usize) -> ArrayId;
+
+    /// A deep copy of `array` ([`FxArray::clone`](crate::FxArray)): the
+    /// duplicate starts with `array`'s *current* contents and is
+    /// independent from then on.
+    fn array_clone(&self, array: ArrayId) -> ArrayId;
+
+    /// `array[index]` loaded into a new value.
+    fn array_load(&self, array: ArrayId, index: usize) -> ValueId;
+
+    /// Value `v` stored into `array[index]` (the store's format rounding is
+    /// re-derived at replay, so `v` is the pre-cast id).
+    fn array_store(&self, array: ArrayId, index: usize, v: ValueId);
+
+    /// An explicit conversion of `v` toward `dst` ([`Fx::to`](crate::Fx::to)
+    /// as written in the program; promotion-inserted casts are *not*
+    /// reported — replay re-derives them).
+    fn cast(&self, v: ValueId, dst: FpFormat) -> ValueId;
+
+    /// A binary arithmetic operation on the original (pre-promotion)
+    /// operands.
+    fn bin_op(&self, op: BinOp, a: ValueId, b: ValueId) -> ValueId;
+
+    /// Square root of `v`.
+    fn sqrt(&self, v: ValueId) -> ValueId;
+
+    /// RISC-V `fmin`/`fmax` on the original operands.
+    fn min_max(&self, is_min: bool, a: ValueId, b: ValueId) -> ValueId;
+
+    /// Sign negation (free; invisible to the [`Recorder`](crate::Recorder)).
+    fn neg(&self, v: ValueId) -> ValueId;
+
+    /// Absolute value (free; invisible to the
+    /// [`Recorder`](crate::Recorder)).
+    fn abs(&self, v: ValueId) -> ValueId;
+
+    /// A quiet comparison (`<` or `<=`) and the boolean it produced — the
+    /// divergence guard of replay-based tuning hangs off this outcome.
+    fn cmp(&self, is_le: bool, a: ValueId, b: ValueId, outcome: bool);
+
+    /// `v`'s numeric value escaped to plain `f64`
+    /// ([`Fx::value`](crate::Fx::value)); `val` is what was read.
+    fn extract(&self, v: ValueId, val: f64);
+
+    /// A whole array escaped to plain `f64`s
+    /// ([`FxArray::to_f64s`](crate::FxArray::to_f64s)).
+    fn extract_array(&self, array: ArrayId, values: &[f64]);
+
+    /// One element escaped to plain `f64`
+    /// ([`FxArray::peek`](crate::FxArray::peek)).
+    fn extract_element(&self, array: ArrayId, index: usize, val: f64);
+
+    /// `n` integer/control instructions
+    /// ([`Recorder::int_ops`](crate::Recorder::int_ops)) — kept on the tape
+    /// so a replay reproduces the recorded counts exactly.
+    fn int_ops(&self, n: u64);
+
+    /// A [`VectorSection`](crate::VectorSection) opened.
+    fn vector_enter(&self);
+
+    /// A [`VectorSection`](crate::VectorSection) closed.
+    fn vector_exit(&self);
 }
 
 /// Thread dispatch state, not yet resolved: the first dispatch folds the
@@ -177,6 +295,12 @@ fn global_backend() -> &'static Option<Arc<dyn FpBackend>> {
 
 /// Handle for the thread's backend installation — the dispatch twin of
 /// [`Recorder`](crate::Recorder).
+///
+/// The two ambient facilities compose: a backend computes (and may record
+/// a tape through [`FpBackend::tape`]); the `Recorder` counts. Installing
+/// a tape-recording backend does not change what the `Recorder` sees —
+/// the "count ops exactly once" contract between them is documented on
+/// [`Recorder`](crate::Recorder) and DESIGN.md §7.
 #[derive(Debug, Clone, Copy)]
 pub struct Engine;
 
@@ -270,6 +394,19 @@ pub(crate) fn dispatch<R>(f: impl FnOnce(&dyn FpBackend) -> R) -> Option<R> {
         return None;
     }
     ACTIVE.with(|a| a.borrow().as_deref().map(f))
+}
+
+/// Runs `f` against the active backend's tape sink, or returns `None` when
+/// no backend is installed or the backend does not record a tape. Like
+/// [`dispatch`], the uninstalled case costs exactly one thread-local `Cell`
+/// read; with an ordinary compute backend installed it adds one virtual
+/// call that returns `None`.
+#[inline]
+pub(crate) fn tap<R>(f: impl FnOnce(&dyn TapeSink) -> R) -> Option<R> {
+    if resolved_state() == BK_NONE {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow().as_deref().and_then(|b| b.tape()).map(f))
 }
 
 /// Dispatch-or-fallback for min/max, shared by `Fx` and `FlexFloat`: the

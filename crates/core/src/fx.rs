@@ -19,7 +19,7 @@
 
 use tp_formats::{FpFormat, BINARY32};
 
-use crate::backend::{self, BinOp, Emulated, FpBackend};
+use crate::backend::{self, ArrayId, BinOp, Emulated, FpBackend, ValueId};
 use crate::stats::{EventId, OpKind, Recorder};
 
 /// A floating-point value with a runtime-chosen format.
@@ -40,6 +40,9 @@ pub struct Fx {
     /// Id of the FP instruction that produced this value (0 = none), used
     /// for pipeline-stall accounting.
     prod: EventId,
+    /// Id of this value on the active tape (0 = untraced), used by the
+    /// `tp-trace` recording backend for dataflow-exact replay.
+    vid: ValueId,
 }
 
 impl Fx {
@@ -51,6 +54,7 @@ impl Fx {
             val: fmt.sanitize_f64(x),
             fmt,
             prod: 0,
+            vid: backend::tap(|t| t.leaf(fmt, x)).unwrap_or(0),
         }
     }
 
@@ -61,6 +65,7 @@ impl Fx {
             val: 0.0,
             fmt,
             prod: 0,
+            vid: backend::tap(|t| t.leaf(fmt, 0.0)).unwrap_or(0),
         }
     }
 
@@ -68,6 +73,7 @@ impl Fx {
     #[inline]
     #[must_use]
     pub fn value(self) -> f64 {
+        let _ = backend::tap(|t| t.extract(self.vid, self.val));
         self.val
     }
 
@@ -79,8 +85,24 @@ impl Fx {
     }
 
     /// Converts to `dst`, recording a cast event when the format changes.
+    ///
+    /// The tape sees this call even when `dst` equals the current format:
+    /// under a different candidate configuration the same program point may
+    /// be a real conversion, so replay must re-decide it (see the
+    /// [`TapeSink`](crate::backend::TapeSink) contract).
     #[must_use]
     pub fn to(self, dst: FpFormat) -> Self {
+        let vid = backend::tap(|t| t.cast(self.vid, dst)).unwrap_or(0);
+        let mut out = self.convert(dst);
+        out.vid = vid;
+        out
+    }
+
+    /// The conversion behind [`Fx::to`], *without* the tape event — used
+    /// for the implicit casts (operand promotion, array-store rounding)
+    /// that a tape replay re-derives from the formats in force instead of
+    /// copying from the recorded run.
+    fn convert(self, dst: FpFormat) -> Self {
         if dst == self.fmt {
             return self;
         }
@@ -93,12 +115,14 @@ impl Fx {
             val,
             fmt: dst,
             prod: 0,
+            vid: 0,
         }
     }
 
     /// Square root in this value's format.
     #[must_use]
     pub fn sqrt(self) -> Self {
+        let vid = backend::tap(|t| t.sqrt(self.vid)).unwrap_or(0);
         let prod = if Recorder::is_enabled() {
             Recorder::fp_op(self.fmt, OpKind::Sqrt, self.prod, 0)
         } else {
@@ -110,6 +134,7 @@ impl Fx {
             val,
             fmt: self.fmt,
             prod,
+            vid,
         }
     }
 
@@ -118,6 +143,7 @@ impl Fx {
     pub fn abs(self) -> Self {
         Fx {
             val: self.val.abs(),
+            vid: backend::tap(|t| t.abs(self.vid)).unwrap_or(0),
             ..self
         }
     }
@@ -137,6 +163,7 @@ impl Fx {
     }
 
     fn min_max(self, other: Self, want_min: bool) -> Self {
+        let vid = backend::tap(|t| t.min_max(want_min, self.vid, other.vid)).unwrap_or(0);
         let (a, b, fmt) = Self::promote(self, other);
         let prod = if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod)
@@ -144,29 +171,40 @@ impl Fx {
             0
         };
         let val = backend::min_max(fmt, a.val, b.val, want_min);
-        Fx { val, fmt, prod }
+        Fx {
+            val,
+            fmt,
+            prod,
+            vid,
+        }
     }
 
     /// `self < other` as a hardware comparison — IEEE quiet predicate,
     /// false on unordered (records one op).
     #[must_use]
     pub fn lt(self, other: Self) -> bool {
+        let (src_a, src_b) = (self.vid, other.vid);
         let (a, b, fmt) = Self::promote(self, other);
         if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
         }
-        backend::dispatch(|bk| bk.lt(fmt, a.val, b.val)).unwrap_or(a.val < b.val)
+        let out = backend::dispatch(|bk| bk.lt(fmt, a.val, b.val)).unwrap_or(a.val < b.val);
+        let _ = backend::tap(|t| t.cmp(false, src_a, src_b, out));
+        out
     }
 
     /// `self <= other` as a hardware comparison — IEEE quiet predicate,
     /// false on unordered (records one op).
     #[must_use]
     pub fn le(self, other: Self) -> bool {
+        let (src_a, src_b) = (self.vid, other.vid);
         let (a, b, fmt) = Self::promote(self, other);
         if Recorder::is_enabled() {
             Recorder::fp_op(fmt, OpKind::Cmp, a.prod, b.prod);
         }
-        backend::dispatch(|bk| bk.le(fmt, a.val, b.val)).unwrap_or(a.val <= b.val)
+        let out = backend::dispatch(|bk| bk.le(fmt, a.val, b.val)).unwrap_or(a.val <= b.val);
+        let _ = backend::tap(|t| t.cmp(true, src_a, src_b, out));
+        out
     }
 
     /// Promotes the less precise operand to the more precise format,
@@ -184,14 +222,15 @@ impl Fx {
         let a_key = (a.fmt.man_bits(), a.fmt.exp_bits());
         let b_key = (b.fmt.man_bits(), b.fmt.exp_bits());
         if a_key >= b_key {
-            (a, b.to(a.fmt), a.fmt)
+            (a, b.convert(a.fmt), a.fmt)
         } else {
-            (a.to(b.fmt), b, b.fmt)
+            (a.convert(b.fmt), b, b.fmt)
         }
     }
 
     #[inline]
     fn bin_op(self, rhs: Fx, kind: OpKind, op: BinOp) -> Fx {
+        let vid = backend::tap(|t| t.bin_op(op, self.vid, rhs.vid)).unwrap_or(0);
         let (a, b, fmt) = Self::promote(self, rhs);
         let prod = if Recorder::is_enabled() {
             Recorder::fp_op(fmt, kind, a.prod, b.prod)
@@ -204,7 +243,12 @@ impl Fx {
         // code — there is no second arithmetic to drift out of sync.
         let val = backend::dispatch(|bk| bk.bin_op(fmt, op, a.val, b.val))
             .unwrap_or_else(|| Emulated.bin_op(fmt, op, a.val, b.val));
-        Fx { val, fmt, prod }
+        Fx {
+            val,
+            fmt,
+            prod,
+            vid,
+        }
     }
 }
 
@@ -241,6 +285,7 @@ impl std::ops::Neg for Fx {
     fn neg(self) -> Fx {
         Fx {
             val: -self.val,
+            vid: backend::tap(|t| t.neg(self.vid)).unwrap_or(0),
             ..self
         }
     }
@@ -271,10 +316,26 @@ impl std::fmt::Display for Fx {
 /// Loads and stores record memory-traffic events of the element width,
 /// which is how narrower formats translate into fewer data-memory bytes
 /// (and, inside vector sections, into packed SIMD accesses).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FxArray {
     fmt: FpFormat,
     data: Vec<f64>,
+    /// Id of this array on the active tape (0 = untraced).
+    tid: ArrayId,
+}
+
+impl Clone for FxArray {
+    /// Deep copy. Under an active tape recording the duplicate gets its
+    /// own tape identity (an `ArrayDup` entry) — a derived clone would
+    /// silently *alias* the original's tape array and corrupt the store
+    /// tracking.
+    fn clone(&self) -> Self {
+        FxArray {
+            fmt: self.fmt,
+            data: self.data.clone(),
+            tid: backend::tap(|t| t.array_clone(self.tid)).unwrap_or(0),
+        }
+    }
 }
 
 impl FxArray {
@@ -283,7 +344,11 @@ impl FxArray {
     #[must_use]
     pub fn from_f64s(fmt: FpFormat, values: &[f64]) -> Self {
         let data = values.iter().map(|&x| fmt.sanitize_f64(x)).collect();
-        FxArray { fmt, data }
+        FxArray {
+            fmt,
+            data,
+            tid: backend::tap(|t| t.array_new(fmt, values)).unwrap_or(0),
+        }
     }
 
     /// Creates a zero-filled array of `len` elements.
@@ -292,6 +357,7 @@ impl FxArray {
         FxArray {
             fmt,
             data: vec![0.0; len],
+            tid: backend::tap(|t| t.array_zeros(fmt, len)).unwrap_or(0),
         }
     }
 
@@ -320,6 +386,7 @@ impl FxArray {
     /// Panics if `i` is out of bounds.
     #[must_use]
     pub fn get(&self, i: usize) -> Fx {
+        let vid = backend::tap(|t| t.array_load(self.tid, i)).unwrap_or(0);
         if Recorder::is_enabled() {
             // Loads complete in one cycle on the PULPino TCDM, so the loaded
             // value never stalls a consumer (prod stays 0).
@@ -329,6 +396,7 @@ impl FxArray {
             val: self.data[i],
             fmt: self.fmt,
             prod: 0,
+            vid,
         }
     }
 
@@ -339,23 +407,26 @@ impl FxArray {
     ///
     /// Panics if `i` is out of bounds.
     pub fn set(&mut self, i: usize, v: Fx) {
-        let v = v.to(self.fmt);
+        let _ = backend::tap(|t| t.array_store(self.tid, i, v.vid));
+        let v = v.convert(self.fmt);
         if Recorder::is_enabled() {
             Recorder::store(self.fmt.total_bits());
         }
-        self.data[i] = v.value();
+        self.data[i] = v.val;
     }
 
     /// Reads the raw values without recording events (for result
     /// extraction and quality evaluation).
     #[must_use]
     pub fn to_f64s(&self) -> Vec<f64> {
+        let _ = backend::tap(|t| t.extract_array(self.tid, &self.data));
         self.data.clone()
     }
 
     /// Reads element `i` without recording events.
     #[must_use]
     pub fn peek(&self, i: usize) -> f64 {
+        let _ = backend::tap(|t| t.extract_element(self.tid, i, self.data[i]));
         self.data[i]
     }
 }

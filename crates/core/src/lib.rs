@@ -62,7 +62,7 @@ mod fx;
 mod stats;
 mod vector;
 
-pub use backend::{BinOp, Engine, FpBackend};
+pub use backend::{ArrayId, BinOp, Engine, FpBackend, TapeSink, ValueId};
 pub use config::{TypeConfig, VarSpec};
 pub use flex::{Binary16, Binary16Alt, Binary32, Binary8, FlexFloat};
 pub use fx::{fx32, Fx, FxArray};

@@ -251,6 +251,24 @@ thread_local! {
 ///
 /// Recording is off by default: uninstrumented use of `FlexFloat` costs only
 /// a thread-local flag check per operation.
+///
+/// # Interaction with a recording trace backend
+///
+/// The `Recorder` (statistics) and a tape-recording backend (the
+/// `tp-trace` subsystem, plugged in through
+/// [`TapeSink`](crate::backend::TapeSink)) are independent observers of
+/// the same op stream, and the contract between them is that **every
+/// operation is counted exactly once**:
+///
+/// * while a trace is being *recorded*, the trace layer isolates the
+///   recording run in a [`Recorder::scoped`] scope and discards its
+///   counts — the recording run is tuning bookkeeping, not workload;
+/// * when a trace is *replayed* under an enabled `Recorder`, the replay
+///   re-issues the live run's `Recorder` events in recorded order, so a
+///   completed replay's [`TraceCounts`] are equal to the live run's
+///   (pinned by `tests/replay_equivalence.rs`); a *divergent* (aborted)
+///   replay has emitted only a prefix, which callers discard by scoping
+///   the replay and absorbing the counts only on success.
 #[derive(Debug, Clone, Copy)]
 pub struct Recorder;
 
@@ -437,7 +455,13 @@ impl Recorder {
 
     /// Records `n` integer/control instructions (loop bookkeeping, address
     /// arithmetic, branches — the paper's "other ops").
+    ///
+    /// Also reported to an active tape sink (independently of whether
+    /// recording is enabled), so a tape replay can re-issue the same calls
+    /// and reproduce the recorded counts exactly — see
+    /// [`TapeSink::int_ops`](crate::backend::TapeSink::int_ops).
     pub fn int_ops(n: u64) {
+        let _ = crate::backend::tap(|t| t.int_ops(n));
         RECORDER.with(|r| {
             let mut s = r.borrow_mut();
             if !s.enabled {
@@ -456,10 +480,12 @@ impl Recorder {
     }
 
     fn enter_vector() {
+        let _ = crate::backend::tap(|t| t.vector_enter());
         RECORDER.with(|r| r.borrow_mut().vector_depth += 1);
     }
 
     fn exit_vector() {
+        let _ = crate::backend::tap(|t| t.vector_exit());
         RECORDER.with(|r| {
             let mut s = r.borrow_mut();
             debug_assert!(s.vector_depth > 0, "unbalanced vector section");

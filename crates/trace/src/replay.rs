@@ -1,0 +1,704 @@
+//! Tape replay under a candidate configuration.
+//!
+//! Two interpreters share the tape:
+//!
+//! * [`Trace::replay`] picks the **raw** interpreter when nothing is
+//!   observing the thread (no [`Recorder`], no installed backend): values
+//!   are plain `(f64, format)` pairs and every operation inlines the
+//!   emulated datapath ([`Emulated`]) directly — the same arithmetic the
+//!   uninstalled `Fx` fast path executes, minus the per-op thread-local
+//!   checks and statistics bookkeeping. This is what makes a replayed
+//!   candidate evaluation cheaper than a live kernel run.
+//! * When a `Recorder` is running or a backend is installed, replay drives
+//!   the real [`Fx`]/[`FxArray`] API instead, so recorded statistics and
+//!   backend dispatch are exact by construction.
+//!
+//! Both interpreters are bit-identical in outputs and divergence decisions
+//! (`raw_path_matches_fx_path` below, and the kernel-level proptests in
+//! `tests/replay_equivalence.rs`, pin this).
+
+use std::cell::RefCell;
+
+use flexfloat::backend::Emulated;
+use flexfloat::{BinOp, Engine, FpBackend, Fx, FxArray, Recorder, TypeConfig, VectorSection};
+use tp_formats::{FpFormat, BINARY32};
+
+use crate::tape::{FmtRef, OutputPlan, Packed, Tag, Trace};
+
+/// One cell of the per-replay promotion table: what `Fx::promote` decides
+/// for a pair of value format-slots under the current configuration —
+/// computed once per replay (slots × slots is tiny), read once per
+/// arithmetic entry.
+#[derive(Clone, Copy, Default)]
+struct Promo {
+    /// Format slot of the promoted result.
+    result: u16,
+    /// Left operand must be re-rounded into the result format.
+    san_a: bool,
+    /// Right operand must be re-rounded into the result format.
+    san_b: bool,
+}
+
+/// Reusable raw-interpreter buffers. A tuning run replays the same tape
+/// dozens of times; the value table alone is hundreds of kilobytes, and a
+/// fresh allocation per replay means an mmap/munmap round trip (plus the
+/// page faults of first touch) per candidate. The scratch is thread-local:
+/// replays on pool workers each reuse their own.
+#[derive(Default)]
+struct Scratch {
+    /// Value table, split into parallel columns (10 bytes per value
+    /// instead of a padded struct — the table is pure memory traffic).
+    vals: Vec<f64>,
+    /// Format slot of each value.
+    vslot: Vec<u16>,
+    /// Arrays as (format slot, storage).
+    arrays: Vec<(u16, Vec<f64>)>,
+    /// Retired array storage, recycled into the next replay's arrays.
+    spare: Vec<Vec<f64>>,
+    /// Resolved format-slot table of the current replay.
+    fmts: Vec<FpFormat>,
+    /// Promotion table, `slots × slots`, row-major.
+    promo: Vec<Promo>,
+    /// `widen[dst * n + src]`: converting `src` into `dst` is exact
+    /// (superset format), so the re-rounding is an identity and is skipped.
+    widen: Vec<bool>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// The result of one replay attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Replayed {
+    /// The replay completed: these outputs are **bit-identical** to what a
+    /// live run of the program under the same configuration (and the same
+    /// backend) would have produced.
+    Output(Vec<f64>),
+    /// A recorded comparison outcome flipped under the candidate formats,
+    /// so control flow may differ from the recorded path — the caller must
+    /// fall back to live execution for this candidate.
+    Divergent {
+        /// Index of the flipping [`TapeOp::Cmp`](crate::TapeOp::Cmp) on the
+        /// tape ([`Trace::op`] decodes it).
+        at: usize,
+    },
+}
+
+impl Replayed {
+    /// The outputs, or `None` on divergence.
+    #[must_use]
+    pub fn output(self) -> Option<Vec<f64>> {
+        match self {
+            Replayed::Output(out) => Some(out),
+            Replayed::Divergent { .. } => None,
+        }
+    }
+}
+
+impl Trace {
+    /// Re-executes the tape under `config` and returns the program outputs
+    /// — or [`Replayed::Divergent`] as soon as a recorded comparison
+    /// outcome flips.
+    ///
+    /// When the thread is observed (a [`Recorder`] is running or a backend
+    /// is installed), replay drives the real [`Fx`]/[`FxArray`] API in
+    /// recorded order: operand promotion, array-store rounding, recorded
+    /// statistics (every [`Recorder`] event, including `int_ops` and
+    /// vector sections) and backend dispatch all happen exactly as a live
+    /// run would perform them. Otherwise a raw interpreter executes the
+    /// same arithmetic without the bookkeeping (see the module docs). In
+    /// both cases a non-divergent replay is bit-identical to live
+    /// execution in outputs — and, when observed, in
+    /// [`TraceCounts`](flexfloat::TraceCounts) too.
+    ///
+    /// Callers that only want the counts of *successful* replays (the tuner
+    /// does) should wrap the call in
+    /// [`Recorder::scoped`](flexfloat::Recorder::scoped) and absorb the
+    /// counts only when the replay completes; a divergent replay has
+    /// recorded a prefix of the live run's events.
+    #[must_use]
+    pub fn replay(&self, config: &TypeConfig) -> Replayed {
+        if Recorder::is_enabled() || Engine::is_active() {
+            self.replay_fx(config)
+        } else {
+            self.replay_raw(config)
+        }
+    }
+
+    /// The observed interpreter: drives the real `Fx`/`FxArray` API so the
+    /// thread's `Recorder` and installed backend see exactly what a live
+    /// run would show them.
+    fn replay_fx(&self, config: &TypeConfig) -> Replayed {
+        let fmts = self.resolve_formats(config);
+
+        // Slot 0 of each table is a dummy so ids index directly.
+        let mut values: Vec<Fx> = Vec::with_capacity(self.n_values as usize + 1);
+        values.push(Fx::zero(BINARY32));
+        let mut arrays: Vec<FxArray> = Vec::with_capacity(self.n_arrays as usize + 1);
+        arrays.push(FxArray::zeros(BINARY32, 0));
+        let mut sections: Vec<VectorSection> = Vec::new();
+        let mut out: Vec<f64> = Vec::new();
+
+        for (at, p) in self.ops.iter().enumerate() {
+            let Packed { tag, fmt, a, b } = *p;
+            match tag {
+                Tag::Leaf => {
+                    values.push(Fx::new(self.pool[a as usize], fmts[usize::from(fmt)]));
+                }
+                Tag::ArrayNew => {
+                    let raw = &self.pool[a as usize..a as usize + b as usize];
+                    arrays.push(FxArray::from_f64s(fmts[usize::from(fmt)], raw));
+                }
+                Tag::ArrayZeros => {
+                    arrays.push(FxArray::zeros(fmts[usize::from(fmt)], a as usize));
+                }
+                Tag::ArrayDup => {
+                    let dup = arrays[usize::from(fmt)].clone();
+                    arrays.push(dup);
+                }
+                Tag::Load => values.push(arrays[usize::from(fmt)].get(a as usize)),
+                Tag::Store => {
+                    let value = values[b as usize];
+                    arrays[usize::from(fmt)].set(a as usize, value);
+                }
+                Tag::Cast => values.push(values[a as usize].to(fmts[usize::from(fmt)])),
+                Tag::Add => values.push(values[a as usize] + values[b as usize]),
+                Tag::Sub => values.push(values[a as usize] - values[b as usize]),
+                Tag::Mul => values.push(values[a as usize] * values[b as usize]),
+                Tag::Div => values.push(values[a as usize] / values[b as usize]),
+                Tag::Sqrt => values.push(values[a as usize].sqrt()),
+                Tag::Min => values.push(values[a as usize].min(values[b as usize])),
+                Tag::Max => values.push(values[a as usize].max(values[b as usize])),
+                Tag::Neg => values.push(-values[a as usize]),
+                Tag::Abs => values.push(values[a as usize].abs()),
+                Tag::CmpLt | Tag::CmpLe => {
+                    let (va, vb) = (values[a as usize], values[b as usize]);
+                    let got = if tag == Tag::CmpLe {
+                        va.le(vb)
+                    } else {
+                        va.lt(vb)
+                    };
+                    if got != (fmt != 0) {
+                        // The recorded path is no longer the path this
+                        // configuration would take: refuse, never guess.
+                        return Replayed::Divergent { at };
+                    }
+                }
+                Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast => {
+                    unreachable!("fused tags only exist on the raw view")
+                }
+                Tag::Extract => out.push(values[a as usize].value()),
+                Tag::ExtractArray => out.extend(arrays[usize::from(fmt)].to_f64s()),
+                Tag::ExtractElement => out.push(arrays[usize::from(fmt)].peek(a as usize)),
+                Tag::IntOps => Recorder::int_ops(u64::from(a)),
+                Tag::VectorEnter => sections.push(VectorSection::enter()),
+                Tag::VectorExit => {
+                    sections.pop();
+                }
+            }
+        }
+
+        match self.plan {
+            OutputPlan::FromExtracts => Replayed::Output(out),
+            OutputPlan::Verbatim => Replayed::Output(self.outputs.clone()),
+        }
+    }
+
+    /// Resolves the interned format-slot table against `config`, once per
+    /// replay — per-op format access is then a plain array read.
+    fn resolve_formats(&self, config: &TypeConfig) -> Vec<FpFormat> {
+        self.fmt_slots
+            .iter()
+            .map(|slot| match *slot {
+                FmtRef::Var(i) => config.format_of(self.var_names[usize::from(i)]),
+                FmtRef::Fixed(fmt) => fmt,
+            })
+            .collect()
+    }
+
+    /// The unobserved interpreter: plain `f64` values + format slots
+    /// through the inlined emulated datapath. Must mirror the uninstalled
+    /// `Fx` path operation for operation — promotion rule, store rounding,
+    /// RISC-V min/max, quiet comparisons — so its outputs are bit-identical
+    /// to [`Trace::replay_fx`] (and therefore to live execution).
+    #[allow(clippy::too_many_lines)]
+    fn replay_raw(&self, config: &TypeConfig) -> Replayed {
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let Scratch {
+                vals,
+                vslot,
+                arrays,
+                spare,
+                fmts,
+                promo,
+                widen,
+            } = scratch;
+            fmts.clear();
+            fmts.extend(self.fmt_slots.iter().map(|slot| match *slot {
+                FmtRef::Var(i) => config.format_of(self.var_names[usize::from(i)]),
+                FmtRef::Fixed(fmt) => fmt,
+            }));
+            // The promotion decision is a function of the two operand
+            // format slots only; tabulate it once.
+            let n = fmts.len();
+            promo.clear();
+            promo.reserve(n * n);
+            widen.clear();
+            widen.reserve(n * n);
+            for sa in 0..n {
+                for sb in 0..n {
+                    let (fa, fb) = (fmts[sa], fmts[sb]);
+                    // Re-rounding into a superset format is an identity on
+                    // in-grid values — skipping it is the one sanitize the
+                    // interpreter can prove away that the generic Fx path
+                    // pays unconditionally.
+                    widen.push(fa.is_superset_of(fb));
+                    promo.push(if fa == fb {
+                        Promo {
+                            result: sa as u16,
+                            san_a: false,
+                            san_b: false,
+                        }
+                    } else if (fa.man_bits(), fa.exp_bits()) >= (fb.man_bits(), fb.exp_bits()) {
+                        Promo {
+                            result: sa as u16,
+                            san_a: false,
+                            san_b: !fa.is_superset_of(fb),
+                        }
+                    } else {
+                        Promo {
+                            result: sb as u16,
+                            san_a: !fb.is_superset_of(fa),
+                            san_b: false,
+                        }
+                    });
+                }
+            }
+            let promote = |promo: &[Promo], vals: &[f64], vslot: &[u16], a: u32, b: u32| {
+                let (sa, sb) = (vslot[a as usize], vslot[b as usize]);
+                let e = promo[usize::from(sa) * n + usize::from(sb)];
+                let fmt = fmts[usize::from(e.result)];
+                let mut va = vals[a as usize];
+                let mut vb = vals[b as usize];
+                if e.san_a {
+                    va = fmt.sanitize_f64(va);
+                }
+                if e.san_b {
+                    vb = fmt.sanitize_f64(vb);
+                }
+                (va, vb, fmt, e.result)
+            };
+
+            vals.clear();
+            vslot.clear();
+            vals.reserve(self.n_values as usize + 1);
+            vslot.reserve(self.n_values as usize + 1);
+            vals.push(0.0);
+            vslot.push(0);
+            for (_, data) in arrays.drain(..) {
+                spare.push(data);
+            }
+            arrays.push((0, spare.pop().unwrap_or_default()));
+            let mut out: Vec<f64> = Vec::with_capacity(self.outputs.len());
+            let mut cmp_seq = 0usize;
+
+            for p in &self.raw_ops {
+                let Packed { tag, fmt, a, b } = *p;
+                match tag {
+                    Tag::Leaf => {
+                        vals.push(fmts[usize::from(fmt)].sanitize_f64(self.pool[a as usize]));
+                        vslot.push(fmt);
+                    }
+                    Tag::ArrayNew => {
+                        let f = fmts[usize::from(fmt)];
+                        let raw = &self.pool[a as usize..a as usize + b as usize];
+                        let mut data = spare.pop().unwrap_or_default();
+                        data.clear();
+                        data.extend(raw.iter().map(|&x| f.sanitize_f64(x)));
+                        arrays.push((fmt, data));
+                    }
+                    Tag::ArrayZeros => {
+                        let mut data = spare.pop().unwrap_or_default();
+                        data.clear();
+                        data.resize(a as usize, 0.0);
+                        arrays.push((fmt, data));
+                    }
+                    Tag::ArrayDup => {
+                        let (slot, ref src) = arrays[usize::from(fmt)];
+                        let mut data = spare.pop().unwrap_or_default();
+                        data.clear();
+                        data.extend_from_slice(src);
+                        arrays.push((slot, data));
+                    }
+                    Tag::Load => {
+                        let (slot, ref data) = arrays[usize::from(fmt)];
+                        vals.push(data[a as usize]);
+                        vslot.push(slot);
+                    }
+                    Tag::Store => {
+                        let (v, sv) = (vals[b as usize], vslot[b as usize]);
+                        let (slot, ref mut data) = arrays[usize::from(fmt)];
+                        data[a as usize] = if widen[usize::from(slot) * n + usize::from(sv)] {
+                            v
+                        } else {
+                            fmts[usize::from(slot)].sanitize_f64(v)
+                        };
+                    }
+                    Tag::Cast => {
+                        let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                        vals.push(if widen[usize::from(fmt) * n + usize::from(sv)] {
+                            v
+                        } else {
+                            fmts[usize::from(fmt)].sanitize_f64(v)
+                        });
+                        vslot.push(fmt);
+                    }
+                    Tag::Add | Tag::Sub | Tag::Mul | Tag::Div => {
+                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
+                        let op = match tag {
+                            Tag::Add => BinOp::Add,
+                            Tag::Sub => BinOp::Sub,
+                            Tag::Mul => BinOp::Mul,
+                            _ => BinOp::Div,
+                        };
+                        vals.push(Emulated.bin_op(f, op, va, vb));
+                        vslot.push(slot);
+                    }
+                    Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast => {
+                        // Fused bin + cast-of-result: two values, one entry.
+                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
+                        let op = match tag {
+                            Tag::AddCast => BinOp::Add,
+                            Tag::SubCast => BinOp::Sub,
+                            Tag::MulCast => BinOp::Mul,
+                            _ => BinOp::Div,
+                        };
+                        let raw = Emulated.bin_op(f, op, va, vb);
+                        vals.push(raw);
+                        vslot.push(slot);
+                        let dst = fmt;
+                        vals.push(if widen[usize::from(dst) * n + usize::from(slot)] {
+                            raw
+                        } else {
+                            fmts[usize::from(dst)].sanitize_f64(raw)
+                        });
+                        vslot.push(dst);
+                    }
+                    Tag::Sqrt => {
+                        let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                        vals.push(Emulated.sqrt(fmts[usize::from(sv)], v));
+                        vslot.push(sv);
+                    }
+                    Tag::Min | Tag::Max => {
+                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
+                        let val = if tag == Tag::Min {
+                            Emulated.min(f, va, vb)
+                        } else {
+                            Emulated.max(f, va, vb)
+                        };
+                        vals.push(val);
+                        vslot.push(slot);
+                    }
+                    Tag::Neg => {
+                        vals.push(-vals[a as usize]);
+                        vslot.push(vslot[a as usize]);
+                    }
+                    Tag::Abs => {
+                        vals.push(vals[a as usize].abs());
+                        vslot.push(vslot[a as usize]);
+                    }
+                    Tag::CmpLt | Tag::CmpLe => {
+                        let (va, vb, _, _) = promote(promo, vals, vslot, a, b);
+                        let got = if tag == Tag::CmpLe { va <= vb } else { va < vb };
+                        let seq = cmp_seq;
+                        cmp_seq += 1;
+                        if got != (fmt != 0) {
+                            // Map the k-th raw comparison back to its
+                            // full-tape address.
+                            return Replayed::Divergent {
+                                at: self.cmp_sites[seq] as usize,
+                            };
+                        }
+                    }
+                    Tag::Extract => out.push(vals[a as usize]),
+                    Tag::ExtractArray => out.extend_from_slice(&arrays[usize::from(fmt)].1),
+                    Tag::ExtractElement => out.push(arrays[usize::from(fmt)].1[a as usize]),
+                    // Stripped from the raw view (nothing observes them).
+                    Tag::IntOps | Tag::VectorEnter | Tag::VectorExit => {}
+                }
+            }
+
+            match self.plan {
+                OutputPlan::FromExtracts => Replayed::Output(out),
+                OutputPlan::Verbatim => Replayed::Output(self.outputs.clone()),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordError;
+    use flexfloat::{TraceCounts, VarSpec};
+    use tp_formats::{BINARY16, BINARY16ALT, BINARY8};
+
+    /// Σ (xᵢ · w) over an array and a scalar, outputs via `to_f64s`.
+    fn dot_run(cfg: &TypeConfig) -> Vec<f64> {
+        let xs = FxArray::from_f64s(cfg.format_of("x"), &[1.5, 2.0, -0.75, 3.25]);
+        let w = Fx::new(0.3, cfg.format_of("w"));
+        let mut out = FxArray::zeros(cfg.format_of("out"), 4);
+        for i in 0..4 {
+            Recorder::int_ops(2);
+            out.set(i, xs.get(i) * w);
+        }
+        out.to_f64s()
+    }
+
+    fn dot_vars() -> Vec<VarSpec> {
+        vec![
+            VarSpec::array("x", 4),
+            VarSpec::scalar("w"),
+            VarSpec::array("out", 4),
+        ]
+    }
+
+    fn configs() -> Vec<TypeConfig> {
+        let mut cfgs = vec![TypeConfig::baseline()];
+        for fx in [BINARY8, BINARY16, BINARY32] {
+            for fw in [BINARY16ALT, BINARY32] {
+                cfgs.push(TypeConfig::baseline().with("x", fx).with("w", fw));
+            }
+        }
+        cfgs
+    }
+
+    #[test]
+    fn straight_line_replay_is_bit_identical_to_live() {
+        let trace = Trace::record(&dot_vars(), dot_run).unwrap();
+        assert_eq!(trace.comparisons(), 0);
+        for cfg in configs() {
+            let replayed = trace.replay(&cfg).output().expect("no comparisons");
+            let live = dot_run(&cfg);
+            assert_eq!(
+                replayed.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                live.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_under_recorded_config_reproduces_recorded_outputs() {
+        let trace = Trace::record(&dot_vars(), dot_run).unwrap();
+        let out = trace.replay(trace.recorded_config()).output().unwrap();
+        assert_eq!(out, trace.recorded_outputs());
+    }
+
+    #[test]
+    fn replay_counts_match_live_counts() {
+        let trace = Trace::record(&dot_vars(), dot_run).unwrap();
+        for cfg in configs() {
+            let (_, live) = Recorder::scoped(|| dot_run(&cfg));
+            let (_, replayed) = Recorder::scoped(|| trace.replay(&cfg));
+            assert_eq!(live, replayed, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn recording_under_an_enclosing_recorder_counts_nothing() {
+        let ((), counts) = Recorder::record(|| {
+            let _ = Trace::record(&dot_vars(), dot_run).unwrap();
+        });
+        assert_eq!(counts, TraceCounts::new());
+    }
+
+    /// A value-dependent branch: output depends on whether x stays below a
+    /// nearby threshold, which flips once precision drops.
+    fn branchy_run(cfg: &TypeConfig) -> Vec<f64> {
+        let x = Fx::new(1.0 + 3.0 / 1024.0, cfg.format_of("x"));
+        let limit = Fx::new(1.0 + 4.0 / 1024.0, cfg.format_of("x"));
+        let picked = if x.lt(limit) { x + x } else { x * x };
+        vec![picked.value()]
+    }
+
+    #[test]
+    fn divergence_guard_fires_when_a_comparison_flips() {
+        let vars = [VarSpec::scalar("x")];
+        let trace = Trace::record(&vars, branchy_run).unwrap();
+        assert_eq!(trace.comparisons(), 1);
+
+        // Wide enough to keep the ordering: replay stays on the tape.
+        let fine = TypeConfig::baseline().with("x", BINARY16);
+        assert_eq!(
+            trace.replay(&fine).output().unwrap(),
+            branchy_run(&fine),
+            "no divergence at binary16"
+        );
+
+        // binary8 rounds both operands to 1.0: the `<` flips, and replay
+        // must refuse rather than follow the stale path.
+        let coarse = TypeConfig::baseline().with("x", BINARY8);
+        match trace.replay(&coarse) {
+            Replayed::Divergent { at } => {
+                assert!(matches!(trace.op(at), crate::TapeOp::Cmp { .. }));
+            }
+            Replayed::Output(out) => panic!("expected divergence, got {out:?}"),
+        }
+    }
+
+    #[test]
+    fn vector_sections_and_min_max_round_trip() {
+        let vars = [VarSpec::array("a", 3), VarSpec::scalar("s")];
+        let run = |cfg: &TypeConfig| {
+            let a = FxArray::from_f64s(cfg.format_of("a"), &[0.7, -1.2, 2.5]);
+            let s = Fx::new(0.1, cfg.format_of("s"));
+            let _v = VectorSection::enter();
+            let hi = a.get(0).max(a.get(1)).max(a.get(2));
+            let lo = a.get(0).min(a.get(1)).min(a.get(2));
+            drop(_v);
+            vec![(hi - lo).sqrt().value(), (-(hi * s)).abs().value()]
+        };
+        let trace = Trace::record(&vars, run).unwrap();
+        for cfg in [
+            TypeConfig::baseline(),
+            TypeConfig::baseline()
+                .with("a", BINARY8)
+                .with("s", BINARY16),
+        ] {
+            let (live_out, live_counts) = Recorder::scoped(|| run(&cfg));
+            let (replayed, counts) = Recorder::scoped(|| trace.replay(&cfg));
+            assert_eq!(replayed.output().unwrap(), live_out);
+            assert_eq!(counts, live_counts);
+        }
+    }
+
+    #[test]
+    fn raw_path_matches_fx_path() {
+        // The unobserved (raw) and observed (Fx-driven) interpreters must
+        // be bit-identical; an enclosing scoped Recorder forces the Fx
+        // path without otherwise changing the arithmetic.
+        let trace = Trace::record(&dot_vars(), dot_run).unwrap();
+        for cfg in configs() {
+            let raw = trace.replay(&cfg).output().unwrap();
+            let (via_fx, _) = Recorder::scoped(|| trace.replay(&cfg));
+            assert_eq!(
+                raw.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                via_fx
+                    .output()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{cfg}"
+            );
+        }
+        // Divergence decisions agree too.
+        let vars = [VarSpec::scalar("x")];
+        let branchy = Trace::record(&vars, branchy_run).unwrap();
+        for fmt in [BINARY8, BINARY16, BINARY16ALT, BINARY32] {
+            let cfg = TypeConfig::baseline().with("x", fmt);
+            let raw = branchy.replay(&cfg);
+            let (via_fx, _) = Recorder::scoped(|| branchy.replay(&cfg));
+            assert_eq!(raw, via_fx, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn cloned_arrays_get_their_own_tape_identity() {
+        // A derived Clone would alias the source's tape array; the manual
+        // impl records an ArrayDup, so post-clone stores stay independent.
+        let vars = [VarSpec::array("a", 2)];
+        let run = |cfg: &TypeConfig| {
+            let a = FxArray::from_f64s(cfg.format_of("a"), &[1.5, 2.5]);
+            let mut b = a.clone();
+            b.set(0, a.get(1) * a.get(1));
+            let mut out = a.to_f64s();
+            out.extend(b.to_f64s());
+            out
+        };
+        let trace = Trace::record(&vars, run).unwrap();
+        for cfg in [
+            TypeConfig::baseline(),
+            TypeConfig::baseline().with("a", BINARY8),
+        ] {
+            let (live_out, live_counts) = Recorder::scoped(|| run(&cfg));
+            let (replayed, counts) = Recorder::scoped(|| trace.replay(&cfg));
+            assert_eq!(replayed.output().unwrap(), live_out, "{cfg}");
+            assert_eq!(counts, live_counts, "{cfg}");
+        }
+        // And the raw interpreter agrees.
+        let cfg = TypeConfig::baseline().with("a", BINARY8);
+        assert_eq!(trace.replay(&cfg).output().unwrap(), run(&cfg));
+    }
+
+    #[test]
+    fn foreign_values_poison_the_trace() {
+        // `outside` is created before the recorder exists, so its dataflow
+        // identity is unknown — the trace must refuse, not guess.
+        let outside = Fx::new(2.0, BINARY32);
+        let vars = [VarSpec::scalar("x")];
+        let err = Trace::record(&vars, |cfg| {
+            let x = Fx::new(1.5, cfg.format_of("x"));
+            vec![(x * outside).value()]
+        })
+        .unwrap_err();
+        assert!(matches!(err, RecordError::Unreplayable(_)), "{err}");
+    }
+
+    #[test]
+    fn transformed_outputs_are_rejected() {
+        // The program post-processes an escaped value in plain f64, so the
+        // escape taps cannot reconstruct the output vector.
+        let vars = [VarSpec::scalar("x")];
+        let err = Trace::record(&vars, |cfg| {
+            let x = Fx::new(1.5, cfg.format_of("x"));
+            vec![(x * x).value() * 2.0]
+        })
+        .unwrap_err();
+        assert_eq!(err, RecordError::OutputsNotReplayable);
+    }
+
+    #[test]
+    fn control_flow_only_outputs_replay_verbatim() {
+        // KNN-style program: the output is an *index*, never an Fx value.
+        let vars = [VarSpec::array("d", 3)];
+        let run = |cfg: &TypeConfig| {
+            let d = FxArray::from_f64s(cfg.format_of("d"), &[0.8, 0.3, 0.9]);
+            let mut best = 0usize;
+            for i in 1..3 {
+                if d.get(i).lt(d.get(best)) {
+                    best = i;
+                }
+            }
+            vec![best as f64]
+        };
+        let trace = Trace::record(&vars, run).unwrap();
+        for cfg in [
+            TypeConfig::baseline(),
+            TypeConfig::baseline().with("d", BINARY8),
+        ] {
+            match trace.replay(&cfg) {
+                Replayed::Output(out) => assert_eq!(out, run(&cfg), "{cfg}"),
+                // A flip means live would pick another index: falling back
+                // is exactly the contract.
+                Replayed::Divergent { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_variables_is_reported() {
+        let vars: Vec<VarSpec> = (0..64)
+            .map(|i| {
+                // Leak a handful of names once; tests only.
+                let name: &'static str = Box::leak(format!("v{i}").into_boxed_str());
+                VarSpec::scalar(name)
+            })
+            .collect();
+        let err = Trace::record(&vars, |_| vec![]).unwrap_err();
+        assert!(matches!(err, RecordError::TooManyVariables { .. }), "{err}");
+    }
+}

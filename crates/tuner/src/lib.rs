@@ -59,5 +59,8 @@ pub use pool::{join2, parallel_map, resolve_workers};
 pub use report::{
     classify_variables, storage_config, validated_storage_config, PrecisionHistogram,
 };
-pub use search::{distributed_search, eval_format, SearchParams, TunedVar, TuningOutcome};
+pub use search::{
+    distributed_search, eval_format, ReplaySummary, SearchParams, TunedVar, TunerMode,
+    TuningOutcome,
+};
 pub use tunable::Tunable;

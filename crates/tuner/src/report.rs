@@ -185,6 +185,7 @@ mod tests {
                 },
             ],
             evaluations: 0,
+            replay: crate::search::ReplaySummary::default(),
         }
     }
 

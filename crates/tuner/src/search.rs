@@ -28,12 +28,151 @@
 //! short-circuits past. `tests/determinism.rs` pins both halves of this
 //! contract.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 use flexfloat::{Recorder, TraceCounts, TypeConfig, VarSpec};
 use tp_formats::{FpFormat, TypeSystem};
+use tp_trace::Trace;
 
 use crate::metrics::relative_rms_error;
 use crate::pool;
 use crate::tunable::Tunable;
+
+/// How candidate evaluations are executed.
+///
+/// In `Replay` mode the search records each input set's dynamic op stream
+/// once (a [`Trace`] per set, fanned out over the worker pool) and
+/// evaluates candidates by replaying the tape under the candidate's
+/// formats — falling back to a live kernel run whenever the trace is
+/// unavailable or the replay hits the divergence guard. The fallback is
+/// what keeps the two modes **bit-identical in chosen formats** (and in
+/// [`TuningOutcome::evaluations`]); `tests/replay_equivalence.rs` pins
+/// this across the kernel suite, every backend and several worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerMode {
+    /// Every candidate evaluation runs the kernel.
+    Live,
+    /// Record once per input set, replay per candidate (the default).
+    Replay,
+}
+
+impl TunerMode {
+    /// The process-wide default mode: the `TP_TUNER_MODE` environment
+    /// variable (`"live"` or `"replay"`), or `Replay` when unset. Read
+    /// once and cached; unknown values fail fast, mirroring `TP_BACKEND`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static MODE: OnceLock<TunerMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("TP_TUNER_MODE").as_deref() {
+            Ok("live") => TunerMode::Live,
+            Ok("replay") | Err(std::env::VarError::NotPresent) => TunerMode::Replay,
+            Ok(other) => {
+                panic!("TP_TUNER_MODE={other:?} is not a tuner mode (use \"live\" or \"replay\")")
+            }
+            Err(e) => panic!("TP_TUNER_MODE is set but unreadable: {e}"),
+        })
+    }
+}
+
+/// How much of a tuning run the replay engine carried (all zero in
+/// [`TunerMode::Live`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Input sets whose op stream was successfully recorded.
+    pub traces: usize,
+    /// Candidate evaluations served from a tape replay.
+    pub replayed: u64,
+    /// Candidate evaluations that hit the divergence guard (a recorded
+    /// comparison flipped under the candidate formats) and fell back to a
+    /// live kernel run.
+    pub diverged: u64,
+}
+
+impl ReplaySummary {
+    /// Share of replay attempts that had to fall back to live execution
+    /// (`0.0` when nothing was attempted).
+    #[must_use]
+    pub fn fallback_rate(&self) -> f64 {
+        let attempts = self.replayed + self.diverged;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.diverged as f64 / attempts as f64
+    }
+}
+
+/// Shared tally behind [`ReplaySummary`] — atomics, because speculative
+/// probes evaluate candidates on pool workers.
+#[derive(Debug, Default)]
+struct ReplayCounters {
+    replayed: AtomicU64,
+    diverged: AtomicU64,
+}
+
+/// After this many *consecutive* divergent replays of one input set's
+/// trace, stop attempting replays for that set: a kernel whose control
+/// flow is this precision-sensitive (KNN's selection scan, PCA's rotation
+/// thresholds) would otherwise pay a wasted replay prefix per candidate on
+/// top of the live fallback it needs anyway. A later successful replay
+/// resets the latch. This is performance-only — a skipped replay *is* the
+/// live evaluation, so verdicts and chosen formats are unchanged.
+const DIVERGENCE_LATCH: u32 = 8;
+
+/// Per-run replay context: one optional tape and one divergence latch per
+/// input set, plus the shared tally. Empty (all-`None`) in
+/// [`TunerMode::Live`].
+struct ReplayCtx {
+    traces: Vec<Option<Trace>>,
+    gates: Vec<std::sync::atomic::AtomicU32>,
+    stats: ReplayCounters,
+}
+
+impl ReplayCtx {
+    fn new(traces: Vec<Option<Trace>>) -> Self {
+        let gates = traces
+            .iter()
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        ReplayCtx {
+            traces,
+            gates,
+            stats: ReplayCounters::default(),
+        }
+    }
+
+    fn live(input_sets: usize) -> Self {
+        Self::new(vec![None; input_sets])
+    }
+
+    /// The tape to try for `set`, unless none was recorded or the
+    /// divergence latch tripped.
+    fn trace_for(&self, set: usize) -> Option<&Trace> {
+        let trace = self.traces.get(set)?.as_ref()?;
+        if self.gates[set].load(Ordering::Relaxed) >= DIVERGENCE_LATCH {
+            return None;
+        }
+        Some(trace)
+    }
+
+    fn note_outcome(&self, set: usize, diverged: bool) {
+        if diverged {
+            self.stats.diverged.fetch_add(1, Ordering::Relaxed);
+            self.gates[set].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.replayed.fetch_add(1, Ordering::Relaxed);
+            self.gates[set].store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn summary(&self) -> ReplaySummary {
+        ReplaySummary {
+            traces: self.traces.iter().flatten().count(),
+            replayed: self.stats.replayed.load(Ordering::Relaxed),
+            diverged: self.stats.diverged.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Parameters of a tuning run.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +196,9 @@ pub struct SearchParams {
     /// formats are bit-identical at any worker count; only the evaluation
     /// count varies (speculative probes — see the module docs).
     pub workers: usize,
+    /// Candidate evaluation strategy: live kernel runs, or record/replay
+    /// with live fallback. Chosen formats are bit-identical either way.
+    pub mode: TunerMode,
 }
 
 impl SearchParams {
@@ -71,6 +213,7 @@ impl SearchParams {
             max_precision: 24,
             passes: 2,
             workers: 0,
+            mode: TunerMode::from_env(),
         }
     }
 
@@ -78,6 +221,13 @@ impl SearchParams {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Builder-style override of the evaluation mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: TunerMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -115,8 +265,11 @@ pub struct TuningOutcome {
     pub type_system: TypeSystem,
     /// Per-variable results, in the application's declaration order.
     pub vars: Vec<TunedVar>,
-    /// Number of program evaluations spent.
+    /// Number of program evaluations spent (live and replayed alike).
     pub evaluations: u64,
+    /// How much of the run the replay engine carried
+    /// ([`TunerMode::Replay`] only; all zero under [`TunerMode::Live`]).
+    pub replay: ReplaySummary,
 }
 
 impl TuningOutcome {
@@ -144,27 +297,18 @@ impl TuningOutcome {
 /// Under V1 the 16-bit hypothesis is binary16 (5-bit exponent); under V2 the
 /// `(3, 8]` interval gets binary16alt's 8-bit exponent. A variable flagged
 /// wide-range is always evaluated with an 8-bit exponent.
+///
+/// This is the **canonical** evaluation-format rule:
+/// [`TunedVar::eval_format`] delegates here, and the interval table itself
+/// is not restated — the exponent hypothesis is, by definition, the
+/// exponent width of the storage format the demand would map to, so it is
+/// read off [`TypeSystem::map`] (one interval table for both the evaluation
+/// and the storage side of the flow).
 #[must_use]
 pub fn eval_format(ts: TypeSystem, precision_bits: u32, wide: bool) -> FpFormat {
     let p = precision_bits.clamp(2, 24);
-    let m = p - 1;
-    let e = if wide || p > 11 {
-        8
-    } else {
-        match ts {
-            TypeSystem::V1 => 5,
-            TypeSystem::V2 => {
-                if p <= 3 {
-                    5
-                } else if p <= 8 {
-                    8
-                } else {
-                    5
-                }
-            }
-        }
-    };
-    FpFormat::new(e, m).expect("validated widths")
+    let e = ts.map(p, wide).format().exp_bits();
+    FpFormat::new(e, p - 1).expect("validated widths")
 }
 
 /// One candidate assignment of `(precision, wide)` to every variable —
@@ -203,6 +347,52 @@ fn candidate_passes(
     relative_rms_error(reference, &out) <= params.threshold
 }
 
+/// Replay-first candidate evaluation: serve the quality check from `set`'s
+/// recorded tape when one exists and the replay does not diverge, else run
+/// the kernel live ([`candidate_passes`]).
+///
+/// Bit-identical to [`candidate_passes`] by the replay contract (a
+/// non-divergent replay reproduces the live outputs exactly), so the two
+/// paths are interchangeable decision-wise — which is what makes
+/// [`TunerMode`] invisible in the chosen formats.
+///
+/// If the calling thread has a [`Recorder`] running, a successful replay's
+/// counts are absorbed (they equal the live run's counts — pinned by
+/// `tests/replay_equivalence.rs`) while a divergent replay's partial
+/// counts are discarded before the live fallback records the real thing:
+/// ops are counted exactly once either way.
+fn eval_candidate(
+    app: &dyn Tunable,
+    params: &SearchParams,
+    vars: &[VarSpec],
+    cand: &Candidate,
+    reference: &[f64],
+    set: usize,
+    replay: &ReplayCtx,
+) -> bool {
+    if let Some(trace) = replay.trace_for(set) {
+        let cfg = cand.config(params.type_system, vars);
+        let replayed = if Recorder::is_enabled() {
+            let (replayed, counts) = Recorder::scoped(|| trace.replay(&cfg));
+            let out = replayed.output();
+            if out.is_some() {
+                Recorder::absorb(&counts);
+            }
+            out
+        } else {
+            trace.replay(&cfg).output()
+        };
+        match replayed {
+            Some(out) => {
+                replay.note_outcome(set, false);
+                return relative_rms_error(reference, &out) <= params.threshold;
+            }
+            None => replay.note_outcome(set, true),
+        }
+    }
+    candidate_passes(app, params, vars, cand, reference, set)
+}
+
 /// Internal mutable search state for one `(application, input set)` pair.
 struct SearchState<'a> {
     app: &'a dyn Tunable,
@@ -214,18 +404,22 @@ struct SearchState<'a> {
     /// concurrently instead of short-circuiting. Decision-neutral;
     /// inflates `evaluations` (see the module docs).
     speculate: bool,
+    /// Per-input-set tapes + divergence latches for replay-first
+    /// evaluation (all-`None` in [`TunerMode::Live`]).
+    replay: &'a ReplayCtx,
 }
 
 impl<'a> SearchState<'a> {
     fn passes(&mut self, reference: &[f64], set: usize) -> bool {
         self.evaluations += 1;
-        candidate_passes(
+        eval_candidate(
             self.app,
             &self.params,
             self.vars,
             &self.cand,
             reference,
             set,
+            self.replay,
         )
     }
 
@@ -248,6 +442,7 @@ impl<'a> SearchState<'a> {
             let mut wide = self.cand.clone();
             wide.wide[i] = true;
             let (app, params, vars) = (self.app, self.params, self.vars);
+            let replay = self.replay;
             let (narrow_ok, wide_ok) = if Recorder::is_enabled() {
                 // The caller is recording: capture both probes' counts in
                 // their own scopes (the spawned thread's recorder starts
@@ -260,12 +455,12 @@ impl<'a> SearchState<'a> {
                 let ((narrow_ok, nc), (wide_ok, wc)) = pool::join2(
                     || {
                         Recorder::scoped(|| {
-                            candidate_passes(app, &params, vars, &narrow, reference, set)
+                            eval_candidate(app, &params, vars, &narrow, reference, set, replay)
                         })
                     },
                     || {
                         Recorder::scoped(|| {
-                            candidate_passes(app, &params, vars, &wide, reference, set)
+                            eval_candidate(app, &params, vars, &wide, reference, set, replay)
                         })
                     },
                 );
@@ -276,8 +471,8 @@ impl<'a> SearchState<'a> {
                 (narrow_ok, wide_ok)
             } else {
                 pool::join2(
-                    || candidate_passes(app, &params, vars, &narrow, reference, set),
-                    || candidate_passes(app, &params, vars, &wide, reference, set),
+                    || eval_candidate(app, &params, vars, &narrow, reference, set, replay),
+                    || eval_candidate(app, &params, vars, &wide, reference, set, replay),
                 )
             };
             self.evaluations += 2;
@@ -353,6 +548,7 @@ impl<'a> SearchState<'a> {
 /// Phase 1 for one input set: descend every variable by binary search for
 /// [`SearchParams::passes`] rounds, repairing after each round. Returns the
 /// tuned candidate and the number of evaluations spent.
+#[allow(clippy::too_many_arguments)]
 fn tune_one_set(
     app: &dyn Tunable,
     params: SearchParams,
@@ -360,8 +556,9 @@ fn tune_one_set(
     order: &[usize],
     set: usize,
     speculate: bool,
+    replay: &ReplayCtx,
+    reference: &[f64],
 ) -> (Candidate, u64) {
-    let reference = app.reference(set);
     let mut st = SearchState {
         app,
         params,
@@ -372,15 +569,16 @@ fn tune_one_set(
         },
         evaluations: 0,
         speculate,
+        replay,
     };
     for _ in 0..params.passes {
         for &i in order {
-            st.descend_var(i, &reference, set);
+            st.descend_var(i, reference, set);
         }
-        st.repair(&reference, set);
+        st.repair(reference, set);
     }
     debug_assert!(candidate_passes(
-        app, &params, vars, &st.cand, &reference, set
+        app, &params, vars, &st.cand, reference, set
     ));
     (st.cand, st.evaluations)
 }
@@ -416,21 +614,82 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // when a second full wave of workers is available beyond that.
     let speculate = workers >= 2 * params.input_sets && workers > 1;
 
+    // Replay mode: record each input set's op stream once, up front, fanned
+    // out over the same worker pool. A set that cannot be recorded (outside
+    // the trace contract) simply keeps evaluating live — `None` entries are
+    // the per-set fallback switch. `Trace::record` isolates itself from any
+    // enclosing Recorder (its counts are bookkeeping, discarded), so no
+    // scoping is needed here.
+    let replay = match params.mode {
+        TunerMode::Live => ReplayCtx::live(params.input_sets),
+        TunerMode::Replay => ReplayCtx::new(pool::parallel_map(
+            workers.min(params.input_sets),
+            params.input_sets,
+            |set| Trace::record(&vars, |cfg| app.run(cfg, set)).ok(),
+        )),
+    };
+
+    // Golden outputs, one per input set, computed once and shared by both
+    // phases (implementations are deterministic by the `Tunable` contract,
+    // so re-deriving them per phase was pure waste). Under an enclosing
+    // Recorder each reference run is scoped on its worker and absorbed in
+    // set order, exactly like the phase-1 fan-out below, so recorded
+    // totals stay worker-count invariant.
+    let recording = Recorder::is_enabled();
+    let references: Vec<Vec<f64>> = {
+        let per_set: Vec<(Vec<f64>, Option<TraceCounts>)> =
+            pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
+                if recording {
+                    let (r, counts) = Recorder::scoped(|| app.reference(set));
+                    (r, Some(counts))
+                } else {
+                    (app.reference(set), None)
+                }
+            });
+        per_set
+            .into_iter()
+            .map(|(r, counts)| {
+                if let Some(counts) = counts {
+                    Recorder::absorb(&counts);
+                }
+                r
+            })
+            .collect()
+    };
+
     // Phase 1: tune every input set independently, in parallel. Recording
     // is left alone in the common (not-recording) case — the per-op
     // `is_enabled` fast path stays a cold branch. Only when the caller has
     // a Recorder running does each worker capture its ops in a scope, and
     // the driver re-absorb the counts in set order, so the enclosing
     // recording sees the same totals a sequential run would have produced.
-    let recording = Recorder::is_enabled();
     let per_set: Vec<(Candidate, u64, Option<TraceCounts>)> =
         pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
             if recording {
-                let ((cand, evals), counts) =
-                    Recorder::scoped(|| tune_one_set(app, params, &vars, &order, set, speculate));
+                let ((cand, evals), counts) = Recorder::scoped(|| {
+                    tune_one_set(
+                        app,
+                        params,
+                        &vars,
+                        &order,
+                        set,
+                        speculate,
+                        &replay,
+                        &references[set],
+                    )
+                });
                 (cand, evals, Some(counts))
             } else {
-                let (cand, evals) = tune_one_set(app, params, &vars, &order, set, speculate);
+                let (cand, evals) = tune_one_set(
+                    app,
+                    params,
+                    &vars,
+                    &order,
+                    set,
+                    speculate,
+                    &replay,
+                    &references[set],
+                );
                 (cand, evals, None)
             }
         });
@@ -466,14 +725,14 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
         cand: joined,
         evaluations: 0,
         speculate: false,
+        replay: &replay,
     };
     loop {
         let mut clean = true;
-        for set in 0..params.input_sets {
-            let reference = app.reference(set);
-            if !st.passes(&reference, set) {
+        for (set, reference) in references.iter().enumerate() {
+            if !st.passes(reference, set) {
                 clean = false;
-                st.repair(&reference, set);
+                st.repair(reference, set);
             }
         }
         if clean || st.cand.precision.iter().all(|&p| p == params.max_precision) {
@@ -496,6 +755,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
             })
             .collect(),
         evaluations,
+        replay: replay.summary(),
     }
 }
 
@@ -697,6 +957,40 @@ mod tests {
             }
             assert!(par.evaluations >= seq.evaluations, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn replay_mode_matches_live_mode() {
+        for threshold in [1e-1, 1e-4] {
+            let params = SearchParams {
+                input_sets: 2,
+                ..SearchParams::paper(threshold)
+            };
+            let live = distributed_search(&TwoVars, params.with_mode(TunerMode::Live));
+            let replay = distributed_search(&TwoVars, params.with_mode(TunerMode::Replay));
+            for (a, b) in live.vars.iter().zip(&replay.vars) {
+                assert_eq!(a.precision_bits, b.precision_bits, "{threshold:e}");
+                assert_eq!(a.needs_wide_range, b.needs_wide_range, "{threshold:e}");
+            }
+            // Replay is decision-transparent: even the evaluation counter
+            // matches, because every replay serves the same verdict the
+            // live run would have.
+            assert_eq!(live.evaluations, replay.evaluations);
+            // And the summary shows the tape actually carried the run.
+            assert_eq!(live.replay, ReplaySummary::default());
+            assert_eq!(replay.replay.traces, 2);
+            assert!(replay.replay.replayed > 0, "{:?}", replay.replay);
+            assert_eq!(replay.replay.diverged, 0, "TwoVars is straight-line");
+        }
+    }
+
+    #[test]
+    fn replay_summary_fallback_rate() {
+        let mut s = ReplaySummary::default();
+        assert_eq!(s.fallback_rate(), 0.0);
+        s.replayed = 3;
+        s.diverged = 1;
+        assert!((s.fallback_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use tp_formats::ALL_KINDS;
 use tp_fpu::FpuModel;
 use tp_kernels::all_kernels_small;
 use tp_platform::PlatformParams;
-use tp_tuner::{distributed_search, SearchParams, Tunable};
+use tp_tuner::{distributed_search, SearchParams, Tunable, TunerMode};
 
 /// Runs `app` under `config` on the given backend (or the plain default
 /// path for `None`), returning output bits and recorded counts.
@@ -87,11 +87,11 @@ fn tuning_outcome_is_backend_invariant() {
 fn evaluate_app_is_backend_invariant() {
     let app = tp_kernels::Knn::small();
     let params = PlatformParams::paper();
-    let want = tp_bench::evaluate_app_with(&app, 1e-1, &params, 2);
+    let want = tp_bench::evaluate_app_with(&app, 1e-1, &params, 2, TunerMode::from_env());
     for name in BACKEND_NAMES {
         let backend = backend_by_name(name).expect(name);
         let got = Engine::with(backend, || {
-            tp_bench::evaluate_app_with(&app, 1e-1, &params, 2)
+            tp_bench::evaluate_app_with(&app, 1e-1, &params, 2, TunerMode::from_env())
         });
         assert_eq!(got.storage, want.storage, "{name}");
         assert_eq!(got.tuned_counts, want.tuned_counts, "{name}");

@@ -18,7 +18,7 @@
 use tp_bench::evaluate_app_with;
 use tp_kernels::{all_kernels_small, Conv, Knn};
 use tp_platform::PlatformParams;
-use tp_tuner::{distributed_search, SearchParams, Tunable, TuningOutcome};
+use tp_tuner::{distributed_search, SearchParams, Tunable, TunerMode, TuningOutcome};
 
 /// Everything in a [`TuningOutcome`] except the evaluation count, in a
 /// directly comparable form.
@@ -93,8 +93,8 @@ fn full_suite_workers_1_4_8() {
 fn evaluate_app_is_worker_count_invariant() {
     let app = Conv::small();
     let params = PlatformParams::paper();
-    let seq = evaluate_app_with(&app, 1e-1, &params, 1);
-    let par = evaluate_app_with(&app, 1e-1, &params, 8);
+    let seq = evaluate_app_with(&app, 1e-1, &params, 1, TunerMode::from_env());
+    let par = evaluate_app_with(&app, 1e-1, &params, 8, TunerMode::from_env());
     assert_eq!(fingerprint(&seq.outcome), fingerprint(&par.outcome));
     assert_eq!(seq.storage, par.storage);
     assert_eq!(seq.baseline_counts, par.baseline_counts);

@@ -1,0 +1,308 @@
+//! The record/replay equivalence contract (DESIGN.md §7), pinned.
+//!
+//! Three layers:
+//!
+//! 1. **Trace-level**: for every kernel, a recorded tape replayed under the
+//!    recorded configuration reproduces the recording bit for bit; replayed
+//!    under arbitrary candidate configurations it either matches the live
+//!    run bit for bit or reports divergence (never a wrong output). Counts
+//!    (`TraceCounts`) of a successful replay equal the live run's counts.
+//! 2. **Tuner-level**: `distributed_search` in `TunerMode::Replay` returns
+//!    bit-identical chosen formats — and evaluation counts — to
+//!    `TunerMode::Live`, across the small suite × backends × worker counts.
+//! 3. **Divergence guard**: a deliberately value-dependent micro-kernel
+//!    raises `Divergent` and the tuner transparently falls back to live
+//!    evaluation, still matching Live mode exactly.
+
+use flexfloat::{Engine, Fx, Recorder, TypeConfig, VarSpec};
+use proptest::prelude::*;
+use tp_formats::{FormatKind, ALL_KINDS};
+use tp_kernels::all_kernels_small;
+use tp_trace::{Replayed, Trace};
+use tp_tuner::{distributed_search, SearchParams, Tunable, TunerMode, TuningOutcome};
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn fingerprint(o: &TuningOutcome) -> String {
+    let mut s = format!(
+        "{}|{:e}|{}|{}",
+        o.app, o.threshold, o.type_system, o.evaluations
+    );
+    for v in &o.vars {
+        s.push_str(&format!(
+            "|{}:p{}w{}",
+            v.spec.name, v.precision_bits, v.needs_wide_range
+        ));
+    }
+    s
+}
+
+/// Layer 1, fixed matrix: replay under the recorded config is the recorded
+/// run; replay under every uniform named-format config matches live or
+/// diverges.
+#[test]
+fn every_kernel_replays_bit_identically() {
+    for app in all_kernels_small() {
+        let app = app.as_ref();
+        for set in 0..2 {
+            let trace = Trace::record(&app.variables(), |cfg| app.run(cfg, set))
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+
+            // Under the recorded configuration the tape *is* the run.
+            let replayed = trace
+                .replay(trace.recorded_config())
+                .output()
+                .expect("recorded config cannot diverge from itself");
+            assert_eq!(
+                bits(&replayed),
+                bits(trace.recorded_outputs()),
+                "{} set {set}",
+                app.name()
+            );
+
+            for kind in ALL_KINDS {
+                let cfg = TypeConfig::uniform(kind.format());
+                match trace.replay(&cfg) {
+                    Replayed::Output(out) => {
+                        let live = app.run(&cfg, set);
+                        assert_eq!(
+                            bits(&out),
+                            bits(&live),
+                            "{} set {set} uniform {kind}",
+                            app.name()
+                        );
+                    }
+                    Replayed::Divergent { .. } => {} // live fallback territory
+                }
+            }
+        }
+    }
+}
+
+/// Layer 1, satellite regression: `TraceCounts` of a successful replay are
+/// equal to the live run's counts — ops are counted exactly once, through
+/// the same `Recorder` events in the same order.
+#[test]
+fn replay_counts_equal_live_counts() {
+    for app in all_kernels_small() {
+        let app = app.as_ref();
+        let trace = Trace::record(&app.variables(), |cfg| app.run(cfg, 0)).unwrap();
+        let mut checked = 0;
+        for kind in ALL_KINDS {
+            let cfg = TypeConfig::uniform(kind.format());
+            let (replayed, replay_counts) = Recorder::scoped(|| trace.replay(&cfg));
+            if let Replayed::Output(out) = replayed {
+                let (live_out, live_counts) = Recorder::scoped(|| app.run(&cfg, 0));
+                assert_eq!(bits(&out), bits(&live_out), "{} {kind}", app.name());
+                assert_eq!(replay_counts, live_counts, "{} {kind}", app.name());
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "{}: no config replayed", app.name());
+    }
+}
+
+/// One kernel with the traces of its first two input sets.
+type TracedKernel = (Box<dyn Tunable>, Vec<Trace>);
+
+/// Traces for the whole small suite, recorded once and shared by the
+/// property cases below.
+fn traced_suite() -> &'static [TracedKernel] {
+    use std::sync::OnceLock;
+    static TRACED: OnceLock<Vec<TracedKernel>> = OnceLock::new();
+    TRACED.get_or_init(|| {
+        all_kernels_small()
+            .into_iter()
+            .map(|app| {
+                let traces = (0..2)
+                    .map(|set| {
+                        Trace::record(&app.variables(), |cfg| app.run(cfg, set))
+                            .unwrap_or_else(|e| panic!("{}: {e}", app.name()))
+                    })
+                    .collect();
+                (app, traces)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Layer 1, randomized: per-variable random storage-format assignments.
+    /// A replay either matches the live run bit for bit or diverges —
+    /// never a silently wrong output.
+    #[test]
+    fn replay_matches_live_under_random_configs(
+        kinds in proptest::collection::vec(0usize..4, 8),
+    ) {
+        for (app, traces) in traced_suite() {
+            let vars = app.variables();
+            let mut cfg = TypeConfig::baseline();
+            for (spec, &k) in vars.iter().zip(kinds.iter().cycle()) {
+                cfg.set(spec.name, ALL_KINDS[k].format());
+            }
+            for (set, trace) in traces.iter().enumerate() {
+                if let Replayed::Output(out) = trace.replay(&cfg) {
+                    prop_assert_eq!(
+                        bits(&out),
+                        bits(&app.run(&cfg, set)),
+                        "{} set {} cfg {}",
+                        app.name(),
+                        set,
+                        cfg
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Layer 2, the acceptance matrix: Replay ≡ Live in chosen formats (and
+/// evaluation counts) for every kernel × backend × worker count.
+#[test]
+fn replay_mode_chooses_identical_formats_across_backends_and_workers() {
+    for app in all_kernels_small() {
+        let app = app.as_ref();
+        let live = distributed_search(
+            app,
+            SearchParams::paper(1e-1)
+                .with_workers(1)
+                .with_mode(TunerMode::Live),
+        );
+        for backend_name in tp_bench::BACKEND_NAMES {
+            for workers in [1usize, 4] {
+                let backend = tp_bench::backend_by_name(backend_name).expect(backend_name);
+                let replay = Engine::with(backend, || {
+                    distributed_search(
+                        app,
+                        SearchParams::paper(1e-1)
+                            .with_workers(workers)
+                            .with_mode(TunerMode::Replay),
+                    )
+                });
+                assert_eq!(
+                    fingerprint(&live),
+                    fingerprint(&replay),
+                    "{}: backend={backend_name} workers={workers}",
+                    app.name()
+                );
+                assert_eq!(
+                    live.eval_config(),
+                    replay.eval_config(),
+                    "{}: backend={backend_name} workers={workers}",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
+/// A micro-kernel whose *output* rides on a comparison that flips once the
+/// variable drops below ~10 significand bits: x = 1 + 3/1024 stays under
+/// 1 + 4/1024 only while the grid can tell them apart.
+struct Branchy;
+
+impl Tunable for Branchy {
+    fn name(&self) -> &str {
+        "BRANCHY"
+    }
+    fn variables(&self) -> Vec<VarSpec> {
+        vec![VarSpec::array("x", 8)]
+    }
+    fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+        let fmt = config.format_of("x");
+        let limit = Fx::new(1.0 + 4.0 / 1024.0, fmt);
+        (0..8)
+            .map(|i| {
+                let x = Fx::new(1.0 + 3.0 / 1024.0 + (i + input_set) as f64 * 0.25, fmt);
+                let y = if x.lt(limit) { x + x } else { x * x };
+                y.value()
+            })
+            .collect()
+    }
+}
+
+/// Layer 3: the divergence guard fires on the micro-kernel, and the tuner's
+/// live fallback keeps Replay mode's outcome identical to Live mode's.
+#[test]
+fn divergence_guard_and_fallback_on_value_dependent_kernel() {
+    // Trace level: binary8 flips the first comparison.
+    let trace = Trace::record(&Branchy.variables(), |cfg| Branchy.run(cfg, 0)).unwrap();
+    assert!(trace.comparisons() > 0);
+    let coarse = TypeConfig::uniform(FormatKind::Binary8.format());
+    assert!(
+        matches!(trace.replay(&coarse), Replayed::Divergent { .. }),
+        "binary8 must trip the divergence guard"
+    );
+    // A faithful config still replays.
+    let fine = TypeConfig::uniform(FormatKind::Binary32.format());
+    assert_eq!(
+        bits(&trace.replay(&fine).output().expect("binary32 is faithful")),
+        bits(&Branchy.run(&fine, 0))
+    );
+
+    // Tuner level: divergent candidates fall back to live runs, and the
+    // chosen formats match Live mode exactly.
+    let params = SearchParams {
+        input_sets: 2,
+        ..SearchParams::paper(1e-3)
+    };
+    let live = distributed_search(&Branchy, params.with_mode(TunerMode::Live));
+    let replay = distributed_search(&Branchy, params.with_mode(TunerMode::Replay));
+    assert_eq!(fingerprint(&live), fingerprint(&replay));
+    assert!(
+        replay.replay.diverged > 0,
+        "the search probes sub-10-bit candidates, which must diverge: {:?}",
+        replay.replay
+    );
+    assert!(live.replay.diverged == 0 && live.replay.replayed == 0);
+}
+
+/// The `TP_TUNER_MODE` knob: explicit `with_mode` always wins; the summary
+/// tells which engine ran.
+#[test]
+fn explicit_mode_beats_environment() {
+    let app = tp_kernels::Conv::small();
+    let live = distributed_search(&app, SearchParams::paper(1e-1).with_mode(TunerMode::Live));
+    assert_eq!(live.replay, tp_tuner::ReplaySummary::default());
+    let replay = distributed_search(&app, SearchParams::paper(1e-1).with_mode(TunerMode::Replay));
+    assert_eq!(replay.replay.traces, 3, "one trace per input set");
+    assert!(replay.replay.replayed > 0);
+}
+
+/// Wall-clock probe for development (`--ignored --nocapture`): where the
+/// time goes for one kernel, one set.
+#[test]
+#[ignore = "profiling probe, not a correctness test"]
+fn profile_record_replay_vs_live() {
+    use std::time::Instant;
+    for app in [
+        Box::new(tp_kernels::Conv::paper()) as Box<dyn Tunable>,
+        Box::new(tp_kernels::Jacobi::paper()),
+        Box::new(tp_kernels::Knn::paper()),
+    ] {
+        let app = app.as_ref();
+        let cfg = TypeConfig::baseline();
+        let t = Instant::now();
+        for _ in 0..10 {
+            let _ = app.run(&cfg, 0);
+        }
+        let live = t.elapsed().as_secs_f64() * 100.0;
+        let t = Instant::now();
+        let trace = Trace::record(&app.variables(), |c| app.run(c, 0)).unwrap();
+        let record = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        for _ in 0..10 {
+            let _ = trace.replay(&cfg);
+        }
+        let replay = t.elapsed().as_secs_f64() * 100.0;
+        println!(
+            "{:>7}: live {live:7.3} ms  record {record:7.3} ms  replay {replay:7.3} ms  ({} tape ops)",
+            app.name(),
+            trace.len()
+        );
+    }
+}
