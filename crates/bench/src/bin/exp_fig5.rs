@@ -6,11 +6,22 @@
 //! reported separately. Paper headline: up to 90 % of FP operations scale
 //! down to 8-bit or 16-bit formats.
 
-use tp_bench::{evaluate_suite, pct, THRESHOLDS};
+use tp_bench::{evaluate_suite, pct, results_to_json, want_json, THRESHOLDS};
 use tp_formats::ALL_KINDS;
 use tp_platform::PlatformParams;
 
 fn main() {
+    // --json: one document over every threshold, in the tp-store schema.
+    if want_json() {
+        let params = PlatformParams::paper();
+        let all: Vec<_> = THRESHOLDS
+            .iter()
+            .flat_map(|&t| evaluate_suite(t, &params))
+            .collect();
+        println!("{}", results_to_json(&all));
+        return;
+    }
+
     println!("E4: Fig. 5 — FP operation breakdown per type (s = scalar, v = vector)");
     println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();

@@ -7,10 +7,22 @@
 //! outliers); JACOBI ≈ 100 %; PCA can exceed 100 % at tight thresholds due
 //! to cast overhead.
 
-use tp_bench::{evaluate_suite, mean, pct, THRESHOLDS};
+use tp_bench::{evaluate_suite, mean, pct, results_to_json, want_json, THRESHOLDS};
 use tp_platform::PlatformParams;
 
 fn main() {
+    // --json: one document over every threshold, in the tp-store schema
+    // (same serializer as the result store and the tp-serve wire format).
+    if want_json() {
+        let params = PlatformParams::paper();
+        let all: Vec<_> = THRESHOLDS
+            .iter()
+            .flat_map(|&t| evaluate_suite(t, &params))
+            .collect();
+        println!("{}", results_to_json(&all));
+        return;
+    }
+
     println!("E5: Fig. 6 — normalized memory accesses and cycles");
     println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();

@@ -6,11 +6,22 @@
 //! the other applications average ≈ 82 % with KNN best at 70 %; manually
 //! vectorized PCA improves to 101 % / 96 % / 85 %.
 
-use tp_bench::{evaluate_app, evaluate_suite, mean, pct, THRESHOLDS};
+use tp_bench::{evaluate_app, evaluate_suite, mean, pct, results_to_json, want_json, THRESHOLDS};
 use tp_kernels::Pca;
 use tp_platform::PlatformParams;
 
 fn main() {
+    // --json: one document over every threshold, in the tp-store schema.
+    if want_json() {
+        let params = PlatformParams::paper();
+        let all: Vec<_> = THRESHOLDS
+            .iter()
+            .flat_map(|&t| evaluate_suite(t, &params))
+            .collect();
+        println!("{}", results_to_json(&all));
+        return;
+    }
+
     println!("E6: Fig. 7 — normalized energy (components vs binary32 baseline)");
     println!("workers: {}", tp_bench::effective_workers());
     let params = PlatformParams::paper();

@@ -6,7 +6,7 @@
 //! ordering) move — demonstrating that the reproduction's shape claims do
 //! not hinge on any single constant.
 
-use tp_bench::{evaluate_suite, mean, pct};
+use tp_bench::{evaluate_suite, mean, pct, results_to_json, want_json};
 use tp_platform::PlatformParams;
 
 fn suite_summary(params: &PlatformParams) -> (f64, f64, f64, bool) {
@@ -29,6 +29,14 @@ fn suite_summary(params: &PlatformParams) -> (f64, f64, f64, bool) {
 }
 
 fn main() {
+    // --json: the unperturbed-calibration suite evaluation (the ablation's
+    // own baseline row), in the tp-store schema.
+    if want_json() {
+        let rs = evaluate_suite(1e-1, &PlatformParams::paper());
+        println!("{}", results_to_json(&rs));
+        return;
+    }
+
     println!("E10: sensitivity of the Fig. 7 conclusions to calibration constants");
     println!("workers: {}", tp_bench::effective_workers());
     println!("(threshold 1e-1; each row perturbs ONE constant, others at default)\n");

@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
+mod jsonout;
+
 use std::sync::Arc;
 
 use flexfloat::backend::{Emulated, SoftFloat};
@@ -15,10 +18,13 @@ use flexfloat::{Engine, FpBackend, Recorder, TraceCounts, TypeConfig};
 use tp_formats::TypeSystem;
 use tp_fpu::FpuModel;
 use tp_platform::{cross_validate, evaluate, CrossReport, PlatformParams, PlatformReport};
+use tp_store::{JobKey, Store, TuningRecord};
 use tp_tuner::{
     distributed_search, parallel_map, resolve_workers, validated_storage_config, SearchParams,
     Tunable, TunerMode, TuningOutcome,
 };
+
+pub use jsonout::{results_to_json, want_json};
 
 /// The three output-quality thresholds of the evaluation
 /// (the paper's `SQNR = 10⁻¹, 10⁻², 10⁻³`).
@@ -46,6 +52,11 @@ pub struct AppResult {
     pub baseline: PlatformReport,
     /// Platform model over the tuned run.
     pub tuned: PlatformReport,
+    /// `true` when the tuning result was served from a [`Store`] instead
+    /// of being computed — i.e. this evaluation ran **zero** kernel
+    /// executions (search, storage validation and trace recording all
+    /// skipped; the platform reports are recomputed from stored counts).
+    pub cache_hit: bool,
 }
 
 impl AppResult {
@@ -111,9 +122,56 @@ pub fn record_run(app: &dyn Tunable, config: &TypeConfig) -> TraceCounts {
     counts
 }
 
+/// Tunes `app` under `search` and captures the full persistable artifact:
+/// the outcome, the *validated* storage mapping, and the baseline/tuned
+/// trace counts — everything a warm consumer needs to rebuild an
+/// [`AppResult`] without executing the kernel again.
+#[must_use]
+pub fn tuned_record(app: &dyn Tunable, search: SearchParams) -> TuningRecord {
+    let outcome = distributed_search(app, search);
+    let storage = validated_storage_config(app, &outcome, search.type_system, search.input_sets);
+    let baseline_counts = record_run(app, &TypeConfig::baseline());
+    let tuned_counts = record_run(app, &storage);
+    TuningRecord {
+        outcome,
+        storage,
+        baseline_counts,
+        tuned_counts,
+    }
+}
+
+/// [`tuned_record`], routed through an optional result [`Store`]: a hit
+/// skips the search (and every other kernel execution) entirely; a miss
+/// computes and persists. Returns the record and whether it was a hit.
+///
+/// The [`JobKey`] covers the app's identity (name + variable set), the
+/// search parameters, the calling thread's active backend and the tuner
+/// version — and deliberately not the worker count (results are
+/// worker-invariant; see `tp_store`'s key module). A failed `put` is
+/// swallowed: a broken cache must degrade to "compute every time", not
+/// take the evaluation down with it.
+#[must_use]
+pub fn tuned_record_cached(
+    store: Option<&Store>,
+    app: &dyn Tunable,
+    search: SearchParams,
+) -> (TuningRecord, bool) {
+    let Some(store) = store else {
+        return (tuned_record(app, search), false);
+    };
+    let key = JobKey::of(app.name(), &app.variables(), &search, Engine::active_name());
+    if let Some(record) = store.get(key) {
+        return (record, true);
+    }
+    let record = tuned_record(app, search);
+    let _ = store.put(key, &record);
+    (record, false)
+}
+
 /// Tunes `app` at `threshold` and evaluates baseline + tuned runs on the
-/// platform model, with the auto worker count (`TP_WORKERS` override) and
-/// the auto tuner mode (`TP_TUNER_MODE` override, default replay).
+/// platform model, with the auto worker count (`TP_WORKERS` override), the
+/// auto tuner mode (`TP_TUNER_MODE` override, default replay) and the auto
+/// result store (`TP_STORE_DIR`, default off).
 #[must_use]
 pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) -> AppResult {
     evaluate_app_with(app, threshold, params, 0, TunerMode::from_env())
@@ -124,8 +182,28 @@ pub fn evaluate_app(app: &dyn Tunable, threshold: f64, params: &PlatformParams) 
 /// at any worker count *and* in either mode;
 /// [`TuningOutcome::evaluations`] aside for workers,
 /// [`TuningOutcome::replay`] aside for the mode.
+///
+/// Routed through the environment-configured result store
+/// ([`env::shared_store`], resolved once per process): with
+/// `TP_STORE_DIR` set, a repeat evaluation is a cache hit and executes
+/// zero kernel runs ([`AppResult::cache_hit`]).
 #[must_use]
 pub fn evaluate_app_with(
+    app: &dyn Tunable,
+    threshold: f64,
+    params: &PlatformParams,
+    workers: usize,
+    mode: TunerMode,
+) -> AppResult {
+    evaluate_app_in(env::shared_store(), app, threshold, params, workers, mode)
+}
+
+/// [`evaluate_app_with`] against an explicit store (`None` = always
+/// compute). This is the fully-injected entry point the `tp-serve` daemon
+/// and the tests drive; the `_with`/plain variants delegate here.
+#[must_use]
+pub fn evaluate_app_in(
+    store: Option<&Store>,
     app: &dyn Tunable,
     threshold: f64,
     params: &PlatformParams,
@@ -135,10 +213,13 @@ pub fn evaluate_app_with(
     let search = SearchParams::paper(threshold)
         .with_workers(workers)
         .with_mode(mode);
-    let outcome = distributed_search(app, search);
-    let storage = validated_storage_config(app, &outcome, TypeSystem::V2, search.input_sets);
-    let baseline_counts = record_run(app, &TypeConfig::baseline());
-    let tuned_counts = record_run(app, &storage);
+    let (record, cache_hit) = tuned_record_cached(store, app, search);
+    let TuningRecord {
+        outcome,
+        storage,
+        baseline_counts,
+        tuned_counts,
+    } = record;
     let baseline = evaluate(&baseline_counts, params);
     let tuned = evaluate(&tuned_counts, params);
     AppResult {
@@ -150,6 +231,7 @@ pub fn evaluate_app_with(
         tuned_counts,
         baseline,
         tuned,
+        cache_hit,
     }
 }
 
@@ -290,7 +372,9 @@ pub fn mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use tp_kernels::Conv;
+    use tp_store::test_util::TempDir;
 
     #[test]
     fn evaluate_app_produces_consistent_ratios() {
@@ -300,6 +384,126 @@ mod tests {
         assert!(r.memory_ratio() > 0.0 && r.memory_ratio() <= 1.0);
         assert!(r.energy_ratio() > 0.0 && r.energy_ratio() < 2.0);
         assert_eq!(r.app, "CONV");
+    }
+
+    /// A kernel wrapper counting every `run` invocation — including the
+    /// default `reference` (which calls `run`) and `Trace::record`'s
+    /// recording run, so "counter unchanged" really means *zero kernel
+    /// executions of any kind*.
+    struct Counting<T> {
+        inner: T,
+        runs: AtomicU64,
+    }
+
+    impl<T: Tunable> Counting<T> {
+        fn new(inner: T) -> Self {
+            Counting {
+                inner,
+                runs: AtomicU64::new(0),
+            }
+        }
+        fn runs(&self) -> u64 {
+            self.runs.load(Ordering::SeqCst)
+        }
+    }
+
+    impl<T: Tunable> Tunable for Counting<T> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn variables(&self) -> Vec<flexfloat::VarSpec> {
+            self.inner.variables()
+        }
+        fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            self.inner.run(config, input_set)
+        }
+    }
+
+    #[test]
+    fn warm_store_evaluation_executes_zero_kernel_runs() {
+        let dir = TempDir::new("bench-warm");
+        let store = Store::open_default(dir.path()).unwrap();
+        let app = Counting::new(Conv::small());
+        let params = PlatformParams::paper();
+
+        let cold = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Replay);
+        assert!(!cold.cache_hit);
+        let cold_runs = app.runs();
+        assert!(cold_runs > 0, "cold run must have executed the kernel");
+
+        // Warm: same job, any worker count — zero kernel executions.
+        for workers in [1, 4, 8] {
+            let warm = evaluate_app_in(
+                Some(&store),
+                &app,
+                1e-1,
+                &params,
+                workers,
+                TunerMode::Replay,
+            );
+            assert!(warm.cache_hit, "workers={workers}");
+            assert_eq!(app.runs(), cold_runs, "workers={workers}: kernel ran");
+            // Bit-identical to the cold computation, reports included.
+            assert_eq!(warm.outcome, cold.outcome);
+            assert_eq!(warm.storage, cold.storage);
+            assert_eq!(warm.baseline_counts, cold.baseline_counts);
+            assert_eq!(warm.tuned_counts, cold.tuned_counts);
+            assert_eq!(warm.tuned.cycles.total(), cold.tuned.cycles.total());
+        }
+
+        // And bit-identical to a storeless computation.
+        let direct = evaluate_app_in(None, &app, 1e-1, &params, 1, TunerMode::Replay);
+        assert!(!direct.cache_hit);
+        assert_eq!(direct.outcome, cold.outcome);
+        assert_eq!(direct.storage, cold.storage);
+    }
+
+    #[test]
+    fn distinct_jobs_do_not_share_cache_entries() {
+        let dir = TempDir::new("bench-distinct");
+        let store = Store::open_default(dir.path()).unwrap();
+        let app = Counting::new(Conv::small());
+        let params = PlatformParams::paper();
+        let a = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Replay);
+        // Different threshold => different key => computed, not served.
+        let b = evaluate_app_in(Some(&store), &app, 1e-2, &params, 1, TunerMode::Replay);
+        assert!(!a.cache_hit && !b.cache_hit);
+        // Different mode => different key (record carries mode-dependent
+        // accounting), even though formats agree.
+        let c = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Live);
+        assert!(!c.cache_hit);
+        assert_eq!(a.outcome.vars, c.outcome.vars);
+        assert_eq!(store.stats().entries, 3);
+    }
+
+    #[test]
+    fn corrupted_entry_is_recomputed_transparently() {
+        let dir = TempDir::new("bench-corrupt");
+        let store = Store::open_default(dir.path()).unwrap();
+        let app = Counting::new(Conv::small());
+        let params = PlatformParams::paper();
+        let cold = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Replay);
+
+        // Smash the single entry on disk.
+        let entries = dir
+            .path()
+            .join(format!("v{}/entries", tp_store::FORMAT_VERSION));
+        let entry = std::fs::read_dir(&entries)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        std::fs::write(entry.path(), b"garbage").unwrap();
+
+        let before = app.runs();
+        let again = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Replay);
+        assert!(!again.cache_hit, "corrupt entry must read as a miss");
+        assert!(app.runs() > before, "recompute must actually run");
+        assert_eq!(again.outcome, cold.outcome);
+        // And the store healed: next read is a hit again.
+        let warm = evaluate_app_in(Some(&store), &app, 1e-1, &params, 1, TunerMode::Replay);
+        assert!(warm.cache_hit);
     }
 
     #[test]

@@ -86,6 +86,13 @@ impl TypeConfig {
         self.assignments.get(name).copied().unwrap_or(self.default)
     }
 
+    /// The format unassigned variables fall back to (serializers persist
+    /// it alongside the explicit assignments).
+    #[must_use]
+    pub fn default_format(&self) -> FpFormat {
+        self.default
+    }
+
     /// Iterates over the explicit assignments.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, FpFormat)> + '_ {
         self.assignments.iter().map(|(k, v)| (*k, *v))

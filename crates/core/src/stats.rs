@@ -21,7 +21,10 @@ use std::fmt;
 use tp_formats::FpFormat;
 
 /// Kinds of floating-point operations the platform distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order; serializers rely on it for a
+/// deterministic rendering of count maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
     /// Addition or subtraction (one hardware block in the FPU slices).
     AddSub,

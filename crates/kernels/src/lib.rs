@@ -76,3 +76,107 @@ pub fn all_kernels_small() -> Vec<Box<dyn Tunable>> {
         Box::new(Conv::small()),
     ]
 }
+
+/// Resolves a kernel by its request spelling: the kernel name (`"CONV"`,
+/// case-insensitive), optionally suffixed with a size variant —
+/// `"CONV:paper"` (the default) or `"CONV:small"`. Returns `None` for
+/// unknown names or variants.
+///
+/// This is the registry the `tp-serve` tuning service and the `tp_client`
+/// binary look jobs up in, so the wire protocol and the library speak the
+/// same kernel identifiers. Note that the two size variants of a kernel
+/// share a display name but declare different variable element counts, so
+/// they key to *different* tuning jobs.
+#[must_use]
+pub fn kernel_by_name(spec: &str) -> Option<Box<dyn Tunable>> {
+    let (name, variant) = match spec.split_once(':') {
+        Some((n, v)) => (n, v),
+        None => (spec, "paper"),
+    };
+    let paper = match variant {
+        "paper" => true,
+        "small" => false,
+        _ => return None,
+    };
+    Some(match name.to_ascii_uppercase().as_str() {
+        "JACOBI" => {
+            if paper {
+                Box::new(Jacobi::paper()) as Box<dyn Tunable>
+            } else {
+                Box::new(Jacobi::small())
+            }
+        }
+        "KNN" => {
+            if paper {
+                Box::new(Knn::paper())
+            } else {
+                Box::new(Knn::small())
+            }
+        }
+        "PCA" => {
+            if paper {
+                Box::new(Pca::paper())
+            } else {
+                Box::new(Pca::small())
+            }
+        }
+        "DWT" => {
+            if paper {
+                Box::new(Dwt::paper())
+            } else {
+                Box::new(Dwt::small())
+            }
+        }
+        "SVM" => {
+            if paper {
+                Box::new(Svm::paper())
+            } else {
+                Box::new(Svm::small())
+            }
+        }
+        "CONV" => {
+            if paper {
+                Box::new(Conv::paper())
+            } else {
+                Box::new(Conv::small())
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn kernel_by_name_resolves_every_suite_member() {
+        for k in all_kernels() {
+            let by_name = kernel_by_name(k.name()).unwrap_or_else(|| panic!("{}", k.name()));
+            assert_eq!(by_name.name(), k.name());
+            // Default variant is the paper size: identical variable set.
+            assert_eq!(by_name.variables(), k.variables());
+        }
+        for k in all_kernels_small() {
+            let spec = format!("{}:small", k.name());
+            let by_name = kernel_by_name(&spec).unwrap_or_else(|| panic!("{spec}"));
+            assert_eq!(by_name.variables(), k.variables());
+        }
+    }
+
+    #[test]
+    fn kernel_by_name_is_case_insensitive_and_strict_on_variants() {
+        assert!(kernel_by_name("conv").is_some());
+        assert!(kernel_by_name("Conv:small").is_some());
+        assert!(kernel_by_name("CONV:big").is_none());
+        assert!(kernel_by_name("FFT").is_none());
+        assert!(kernel_by_name("").is_none());
+    }
+
+    #[test]
+    fn size_variants_declare_different_jobs() {
+        let paper = kernel_by_name("CONV").unwrap();
+        let small = kernel_by_name("CONV:small").unwrap();
+        assert_ne!(paper.variables(), small.variables());
+    }
+}

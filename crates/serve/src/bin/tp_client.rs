@@ -1,0 +1,164 @@
+//! The tuning-service client.
+//!
+//! ```text
+//! tp_client --addr HOST:PORT submit app=<kernel> threshold=<f64> [field=value…] [--wait] [--json]
+//! tp_client --addr HOST:PORT status <key>
+//! tp_client --addr HOST:PORT result <key> [--wait] [--json]
+//! tp_client --addr HOST:PORT list
+//! tp_client --addr HOST:PORT shutdown
+//! tp_client direct app=<kernel> threshold=<f64> [field=value…] [--json]
+//! ```
+//!
+//! `submit --wait` prints `key=… state=… cache_hit=…` followed by the
+//! per-variable format summary (one stable `var …` line per variable).
+//! `direct` computes the *same* record in-process through the library
+//! path (`tp_bench::tuned_record`) and prints the same summary lines —
+//! CI diffs the two to assert served results are bit-identical to direct
+//! library calls. `--json` swaps the summary for the full record in the
+//! shared tp-store JSON schema.
+
+use std::process::ExitCode;
+
+use tp_serve::{format_summary, Client};
+use tp_store::record_to_json;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tp_client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    let wait = take_flag(&mut args, "--wait");
+    let addr = take_value(&mut args, "--addr")?;
+
+    let mut it = args.into_iter();
+    let verb = it.next().ok_or("no command (try --help)")?;
+    let rest: Vec<String> = it.collect();
+    match verb.as_str() {
+        "submit" => {
+            let addr = addr.ok_or("submit needs --addr")?;
+            let mut client = connect(&addr)?;
+            let spec = format!("SUBMIT {}", rest.join(" "));
+            let (key, state) = client.submit(&spec).map_err(stringify)?;
+            if !wait {
+                println!("key={key} state={state}");
+                return Ok(());
+            }
+            let result = client.result_wait(&key).map_err(stringify)?;
+            println!(
+                "key={key} state=done cache_hit={}",
+                u8::from(result.cache_hit)
+            );
+            print_record(&result.record, json);
+            Ok(())
+        }
+        "status" => {
+            let addr = addr.ok_or("status needs --addr")?;
+            let key = rest.first().ok_or("status needs a job key")?;
+            let state = connect(&addr)?.status(key).map_err(stringify)?;
+            println!("key={key} state={state}");
+            Ok(())
+        }
+        "result" => {
+            let addr = addr.ok_or("result needs --addr")?;
+            let key = rest.first().ok_or("result needs a job key")?;
+            let mut client = connect(&addr)?;
+            if wait {
+                let result = client.result_wait(key).map_err(stringify)?;
+                println!(
+                    "key={key} state=done cache_hit={}",
+                    u8::from(result.cache_hit)
+                );
+                print_record(&result.record, json);
+            } else {
+                let raw = client.call(&format!("RESULT {key}")).map_err(stringify)?;
+                println!("{raw}");
+            }
+            Ok(())
+        }
+        "list" => {
+            let addr = addr.ok_or("list needs --addr")?;
+            println!("{}", connect(&addr)?.list().map_err(stringify)?);
+            Ok(())
+        }
+        "shutdown" => {
+            let addr = addr.ok_or("shutdown needs --addr")?;
+            println!("{}", connect(&addr)?.shutdown().map_err(stringify)?);
+            Ok(())
+        }
+        "direct" => {
+            // The in-process reference path: same request grammar, same
+            // record, zero server involvement (and no store — this is the
+            // "cold direct library call" CI compares against).
+            let payload = format!("SUBMIT {}", rest.join(" "));
+            let tp_serve::proto::Request::Submit(submit) =
+                tp_serve::proto::parse_request(&payload)?
+            else {
+                return Err("direct expects SUBMIT-style fields".to_owned());
+            };
+            let app = tp_kernels::kernel_by_name(&submit.app)
+                .ok_or_else(|| format!("unknown kernel {:?}", submit.app))?;
+            let record = tp_bench::tuned_record(app.as_ref(), submit.search_params(0));
+            println!("direct app={} threshold={:?}", submit.app, submit.threshold);
+            print_record(&record, json);
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!(
+                "tp_client --addr HOST:PORT submit app=<kernel> threshold=<f64> [field=value...] [--wait] [--json]\n\
+                 tp_client --addr HOST:PORT status|result <key> [--wait] [--json]\n\
+                 tp_client --addr HOST:PORT list|shutdown\n\
+                 tp_client direct app=<kernel> threshold=<f64> [field=value...] [--json]"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn stringify(e: std::io::Error) -> String {
+    e.to_string()
+}
+
+fn print_record(record: &tp_store::TuningRecord, json: bool) {
+    if json {
+        println!("{}", record_to_json(record));
+    } else {
+        print!("{}", format_summary(record));
+    }
+}
+
+/// Removes `flag` from `args` if present; returns whether it was.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `flag VALUE` from `args` if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}

@@ -1,0 +1,86 @@
+//! `tp-serve`: the persistent tuning service.
+//!
+//! The paper frames transprecision tuning as a platform service: the
+//! precision search is the expensive part, its result is a small stable
+//! artifact, and many callers want the same artifacts. This crate is the
+//! request-serving surface over the engine the previous PRs built:
+//!
+//! * a multi-client daemon on [`std::net::TcpListener`] speaking a
+//!   length-prefixed line protocol ([`proto`]: `SUBMIT` / `STATUS` /
+//!   `RESULT` / `LIST` / `SHUTDOWN`);
+//! * a bounded FIFO job queue with **single-flight deduplication**:
+//!   identical in-flight [`JobKey`](tp_store::JobKey)s share one search;
+//! * worker threads whose per-job tuner budget is split
+//!   `evaluate_suite`-style (total worker budget ÷ job concurrency, the
+//!   search fanning out over `tp_tuner::pool`);
+//! * the [`tp_store::Store`] underneath, so identical requests cost one
+//!   search *ever* — across clients, server restarts and machines
+//!   sharing a store directory;
+//! * graceful drain on `SHUTDOWN`: queued jobs finish, every accepted
+//!   request is answered, then the process exits cleanly.
+//!
+//! Binaries: `serve` (the daemon) and `tp_client` (submit/query/shutdown
+//! plus a `direct` mode that computes the same record in-process, so CI
+//! can diff served results against direct library calls).
+//!
+//! `DESIGN.md §8` documents the architecture; the README's "Service"
+//! section shows the quick start.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+mod server;
+
+pub use client::{format_summary, Client, JobResult};
+pub use server::{KernelResolver, ServeConfig, Server, ServerStats};
+
+/// Test fixtures shared between this crate's integration tests and the
+/// workspace-level `tests/service_e2e.rs`. Not part of the public API.
+#[doc(hidden)]
+pub mod test_util {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use tp_tuner::Tunable;
+
+    use crate::KernelResolver;
+
+    /// A [`KernelResolver`] whose kernels count every `Tunable::run`
+    /// invocation into the returned shared counter — including the
+    /// default `reference` (which calls `run`) and `Trace::record`'s
+    /// recording run, so "counter unchanged" means *zero kernel
+    /// executions of any kind* (searches, references, storage
+    /// validation, trace recording).
+    #[must_use]
+    pub fn counting_resolver() -> (KernelResolver, Arc<AtomicU64>) {
+        struct Counting {
+            inner: Box<dyn Tunable>,
+            runs: Arc<AtomicU64>,
+        }
+        impl Tunable for Counting {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn variables(&self) -> Vec<flexfloat::VarSpec> {
+                self.inner.variables()
+            }
+            fn run(&self, config: &flexfloat::TypeConfig, input_set: usize) -> Vec<f64> {
+                self.runs.fetch_add(1, Ordering::SeqCst);
+                self.inner.run(config, input_set)
+            }
+        }
+        let runs = Arc::new(AtomicU64::new(0));
+        let counter = runs.clone();
+        let resolver: KernelResolver = Arc::new(move |spec: &str| {
+            tp_kernels::kernel_by_name(spec).map(|inner| {
+                Box::new(Counting {
+                    inner,
+                    runs: counter.clone(),
+                }) as Box<dyn Tunable>
+            })
+        });
+        (resolver, runs)
+    }
+}

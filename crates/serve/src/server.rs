@@ -1,0 +1,566 @@
+//! The tuning daemon: accept loop, bounded single-flight job queue,
+//! worker pool, graceful drain.
+//!
+//! # Architecture (DESIGN.md §8)
+//!
+//! ```text
+//! clients ──TCP──▶ handler threads ──▶ job map (single-flight by JobKey)
+//!                                        │ new keys
+//!                                        ▼
+//!                                  bounded FIFO queue ──▶ N workers
+//!                                                          │
+//!                                              store.get ──┤── hit: done
+//!                                              (tp-store)  └── miss: search
+//!                                                               + store.put
+//! ```
+//!
+//! *Single-flight*: the job map is keyed by [`JobKey`], so a `SUBMIT`
+//! whose key is already queued, running or done joins the existing job
+//! instead of occupying a second queue slot — identical concurrent
+//! requests cost one search, total, ever (the store extends "ever" across
+//! restarts).
+//!
+//! *Worker budget*: like `evaluate_suite`'s two-level fan-out, the
+//! server splits a total thread budget between job-level concurrency and
+//! each job's own search: `concurrency` workers pull jobs, and every
+//! search runs with `ceil(total_workers / concurrency)` tuner workers
+//! (the search fans out over `tp_tuner::pool`). Chosen formats are
+//! worker-invariant, so this split affects latency only.
+//!
+//! *Graceful drain*: `SHUTDOWN` flips the server into draining mode (new
+//! `SUBMIT`s are refused with `ERR draining`), waits for the queue to
+//! empty and every running job to settle, answers `BYE` with the final
+//! statistics, and only then stops the accept loop and joins every
+//! thread — no job is abandoned mid-search, no accepted request goes
+//! unanswered.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use tp_store::{JobKey, Store, TuningRecord};
+use tp_tuner::Tunable;
+
+use crate::proto::{parse_request, read_frame, write_frame, Request, SubmitRequest};
+
+/// Resolves a kernel spelling to a runnable [`Tunable`]. Injectable so
+/// tests can count kernel executions; defaults to
+/// [`tp_kernels::kernel_by_name`].
+pub type KernelResolver = Arc<dyn Fn(&str) -> Option<Box<dyn Tunable>> + Send + Sync>;
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Job-level concurrency: how many tuning jobs run at once.
+    pub concurrency: usize,
+    /// Queue bound: `SUBMIT`s beyond it are refused with `ERR full`.
+    pub queue_cap: usize,
+    /// Total tuner-thread budget, split per job (`0` = auto via
+    /// `tp_tuner::resolve_workers`).
+    pub total_workers: usize,
+    /// The persistent result store (`None` = in-memory dedup only).
+    pub store: Option<Store>,
+    /// Kernel lookup.
+    pub resolver: KernelResolver,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            concurrency: 2,
+            queue_cap: 64,
+            total_workers: 0,
+            store: None,
+            resolver: Arc::new(tp_kernels::kernel_by_name),
+        }
+    }
+}
+
+/// Aggregate counters, snapshotted into [`ServerStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    deduped: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+}
+
+/// A snapshot of the server's lifetime statistics (the `BYE`/`LIST`
+/// numbers, and [`Server::run`]'s return value).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// `SUBMIT`s that created a new job.
+    pub submitted: u64,
+    /// `SUBMIT`s that joined an existing job (single-flight dedup).
+    pub deduped: u64,
+    /// `SUBMIT`s refused because the queue was full or draining.
+    pub rejected: u64,
+    /// Jobs that settled successfully.
+    pub completed: u64,
+    /// Jobs that settled with an error.
+    pub failed: u64,
+    /// Completed jobs served from the persistent store.
+    pub store_hits: u64,
+    /// Completed jobs that had to run the search.
+    pub store_misses: u64,
+}
+
+impl ServerStats {
+    fn line(self, prefix: &str) -> String {
+        format!(
+            "{prefix} submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={}",
+            self.submitted,
+            self.deduped,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.store_hits,
+            self.store_misses
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done {
+        record: Arc<TuningRecord>,
+        cache_hit: bool,
+    },
+    Failed(String),
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+struct Job {
+    key: JobKey,
+    request: SubmitRequest,
+    state: Mutex<JobState>,
+    settled: Condvar,
+}
+
+impl Job {
+    fn state_name(&self) -> &'static str {
+        self.state.lock().expect("job state poisoned").name()
+    }
+
+    fn settle(&self, next: JobState) {
+        *self.state.lock().expect("job state poisoned") = next;
+        self.settled.notify_all();
+    }
+
+    /// Blocks until the job is done or failed, returning the final state.
+    fn wait_settled(&self) -> JobState {
+        let mut state = self.state.lock().expect("job state poisoned");
+        loop {
+            match &*state {
+                JobState::Done { .. } | JobState::Failed(_) => return state.clone(),
+                _ => state = self.settled.wait(state).expect("job state poisoned"),
+            }
+        }
+    }
+}
+
+struct Core {
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    /// Submission order, for `LIST`.
+    order: Mutex<Vec<u64>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Workers sleep here; the drain waiter and shutdown also pulse it.
+    queue_cv: Condvar,
+    queue_cap: usize,
+    running: AtomicUsize,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    counters: Counters,
+    store: Option<Store>,
+    resolver: KernelResolver,
+    /// Per-job tuner-worker budget (the `evaluate_suite`-style split).
+    workers_per_job: usize,
+    /// Clones of every accepted stream, so shutdown can unblock handler
+    /// threads parked in a read on an idle connection. Bounded by the
+    /// number of connections a run ever accepts (pruning is not worth it
+    /// at service-smoke scale).
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Core {
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            submitted: c.submitted.load(Ordering::SeqCst),
+            deduped: c.deduped.load(Ordering::SeqCst),
+            rejected: c.rejected.load(Ordering::SeqCst),
+            completed: c.completed.load(Ordering::SeqCst),
+            failed: c.failed.load(Ordering::SeqCst),
+            store_hits: c.store_hits.load(Ordering::SeqCst),
+            store_misses: c.store_misses.load(Ordering::SeqCst),
+        }
+    }
+
+    fn lookup(&self, key_hex: &str) -> Option<Arc<Job>> {
+        let key = JobKey::from_hex(key_hex)?;
+        self.jobs
+            .lock()
+            .expect("job map poisoned")
+            .get(&key.as_u64())
+            .cloned()
+    }
+
+    /// `SUBMIT`: single-flight admission. Failed jobs are retried (the
+    /// failure may have been transient); everything else joins.
+    fn submit(&self, request: SubmitRequest) -> Result<(JobKey, &'static str), String> {
+        let app = (self.resolver)(&request.app)
+            .ok_or_else(|| format!("unknown kernel {:?}", request.app))?;
+        let params = request.search_params(self.workers_per_job);
+        let key = JobKey::of(
+            app.name(),
+            &app.variables(),
+            &params,
+            flexfloat::Engine::active_name(),
+        );
+
+        let mut jobs = self.jobs.lock().expect("job map poisoned");
+        let retry_of_failed = match jobs.get(&key.as_u64()) {
+            Some(existing) => {
+                let failed = matches!(
+                    &*existing.state.lock().expect("job state poisoned"),
+                    JobState::Failed(_)
+                );
+                if !failed {
+                    self.counters.deduped.fetch_add(1, Ordering::SeqCst);
+                    return Ok((key, existing.state_name()));
+                }
+                // Failed jobs are retried — but the old entry is only
+                // replaced once admission is assured below, so a refused
+                // retry ("full"/"draining") leaves the failed state
+                // observable instead of erasing it.
+                true
+            }
+            None => false,
+        };
+
+        // Admission. `draining` transitions happen under the queue lock
+        // (see `drain`), so checking it here — under the same lock — is
+        // race-free: either this push lands before the drain flag flips
+        // (and the drain waits for it), or the flag is visible and the
+        // submit is refused. A bare atomic read outside the lock could
+        // enqueue after every worker had already exited, deadlocking the
+        // drain.
+        let mut queue = self.queue.lock().expect("queue poisoned");
+        if self.draining.load(Ordering::SeqCst) {
+            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err("draining".to_owned());
+        }
+        if queue.len() >= self.queue_cap {
+            self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err("full".to_owned());
+        }
+
+        if retry_of_failed {
+            jobs.remove(&key.as_u64());
+            self.order
+                .lock()
+                .expect("order poisoned")
+                .retain(|k| *k != key.as_u64());
+        }
+        let job = Arc::new(Job {
+            key,
+            request,
+            state: Mutex::new(JobState::Queued),
+            settled: Condvar::new(),
+        });
+        jobs.insert(key.as_u64(), job.clone());
+        self.order
+            .lock()
+            .expect("order poisoned")
+            .push(key.as_u64());
+        queue.push_back(job);
+        drop(queue);
+        drop(jobs);
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        self.queue_cv.notify_one();
+        Ok((key, "queued"))
+    }
+
+    /// One worker's loop: pull, execute, settle; exit once stopping (or
+    /// draining with an empty queue).
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        self.running.fetch_add(1, Ordering::SeqCst);
+                        break Some(job);
+                    }
+                    if self.stop.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    queue = self.queue_cv.wait(queue).expect("queue poisoned");
+                }
+            };
+            let Some(job) = job else { return };
+            job.settle(JobState::Running);
+            let outcome = self.execute(&job);
+            match outcome {
+                Ok((record, cache_hit)) => {
+                    self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    if cache_hit {
+                        self.counters.store_hits.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        self.counters.store_misses.fetch_add(1, Ordering::SeqCst);
+                    }
+                    job.settle(JobState::Done {
+                        record: Arc::new(record),
+                        cache_hit,
+                    });
+                }
+                Err(reason) => {
+                    self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    job.settle(JobState::Failed(reason));
+                }
+            }
+            // Decrement-and-notify under the queue mutex (the condvar's
+            // predicate lock): a bare-atomic decrement could land between
+            // drain()'s predicate check and its wait(), and the notify
+            // would be lost — the last worker's exit would then leave the
+            // drain waiting forever.
+            let _queue = self.queue.lock().expect("queue poisoned");
+            self.running.fetch_sub(1, Ordering::SeqCst);
+            self.queue_cv.notify_all();
+        }
+    }
+
+    /// Runs one job: store lookup first, search on a miss. Panics inside
+    /// the search (a kernel bug, an invalid combination the parser let
+    /// through) are converted to a failed job — one poisoned request must
+    /// not take a worker down.
+    fn execute(&self, job: &Job) -> Result<(TuningRecord, bool), String> {
+        let app = (self.resolver)(&job.request.app)
+            .ok_or_else(|| format!("unknown kernel {:?}", job.request.app))?;
+        let params = job.request.search_params(self.workers_per_job);
+        let store = self.store.as_ref();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tp_bench::tuned_record_cached(store, app.as_ref(), params)
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "search panicked".to_owned());
+            format!("search panicked: {msg}")
+        })
+    }
+
+    /// `SHUTDOWN`: refuse new work, wait for queue + running to reach
+    /// zero, then flip `stop`. Returns the final stats for the `BYE` line.
+    ///
+    /// The `draining` flag flips *under the queue lock*: it is the
+    /// condvar's predicate, shared with `submit`'s admission check and
+    /// the workers' exit check, so no submit can slip a job in after the
+    /// workers have seen the flag and exited (see `submit`).
+    fn drain(&self) -> ServerStats {
+        let mut queue = self.queue.lock().expect("queue poisoned");
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        while !(queue.is_empty() && self.running.load(Ordering::SeqCst) == 0) {
+            queue = self.queue_cv.wait(queue).expect("queue poisoned");
+        }
+        drop(queue);
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        self.stats()
+    }
+}
+
+/// A bound (but not yet serving) tuning server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    core: Arc<Core>,
+    concurrency: usize,
+}
+
+impl Server {
+    /// Binds the listener and prepares the core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let concurrency = config.concurrency.max(1);
+        let total = tp_tuner::resolve_workers(config.total_workers);
+        // The evaluate_suite split: job-level concurrency first, the
+        // (ceiling-divided) surplus to each job's own search.
+        let workers_per_job = total.div_ceil(concurrency).max(1);
+        Ok(Server {
+            listener,
+            addr,
+            core: Arc::new(Core {
+                jobs: Mutex::new(HashMap::new()),
+                order: Mutex::new(Vec::new()),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                queue_cap: config.queue_cap.max(1),
+                running: AtomicUsize::new(0),
+                draining: AtomicBool::new(false),
+                stop: AtomicBool::new(false),
+                counters: Counters::default(),
+                store: config.store,
+                resolver: config.resolver,
+                workers_per_job,
+                conns: Mutex::new(Vec::new()),
+            }),
+            concurrency,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a client issues `SHUTDOWN`; returns the lifetime
+    /// statistics. Joins every worker and handler thread before
+    /// returning, so when this call exits the process owns no stray
+    /// threads and every accepted request has been answered.
+    pub fn run(self) -> ServerStats {
+        let core = &self.core;
+        std::thread::scope(|scope| {
+            for _ in 0..self.concurrency {
+                scope.spawn(|| core.worker_loop());
+            }
+            for stream in self.listener.incoming() {
+                if core.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            core.conns.lock().expect("conns poisoned").push(clone);
+                        }
+                        scope.spawn(|| handle_connection(core, stream));
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Unblock every handler still parked in a read on an idle
+            // connection, so the scope join below cannot hang on a client
+            // that never says goodbye.
+            for conn in core.conns.lock().expect("conns poisoned").drain(..) {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        });
+        self.core.stats()
+    }
+}
+
+/// Serves one client connection: frames in, frames out, until EOF.
+fn handle_connection(core: &Core, stream: TcpStream) {
+    let peer_writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(peer_writer);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // EOF or a broken peer
+        };
+        let response = match parse_request(&payload) {
+            Err(reason) => format!("ERR {reason}"),
+            Ok(request) => respond(core, request),
+        };
+        let is_bye = response.starts_with("BYE");
+        let written = write_frame(&mut writer, &response);
+        if is_bye {
+            // The acceptor may be parked in accept(); a self-connection
+            // wakes it so it can observe `stop` and exit. (An accepted
+            // stream's local address *is* the listener address.) This
+            // must happen even when the BYE write failed — e.g. the
+            // shutdown client died during the drain — or Server::run
+            // would stay parked in accept() with the drain already
+            // complete.
+            if let Ok(addr) = reader.get_ref().local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        if written.is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(core: &Core, request: Request) -> String {
+    match request {
+        Request::Submit(submit) => match core.submit(submit) {
+            Ok((key, state)) => format!("OK {} {state}", key.hex()),
+            Err(reason) => format!("ERR {reason}"),
+        },
+        Request::Status(key) => match core.lookup(&key) {
+            Some(job) => format!("OK {}", job.state_name()),
+            None => "ERR unknown-key".to_owned(),
+        },
+        Request::Result { key, wait } => match core.lookup(&key) {
+            None => "ERR unknown-key".to_owned(),
+            Some(job) => {
+                let state = if wait {
+                    job.wait_settled()
+                } else {
+                    job.state.lock().expect("job state poisoned").clone()
+                };
+                match state {
+                    JobState::Done { record, cache_hit } => format!(
+                        "OK cache_hit={}\n{}",
+                        u8::from(cache_hit),
+                        tp_store::record_to_json(&record)
+                    ),
+                    JobState::Failed(reason) => format!("ERR {reason}"),
+                    JobState::Queued | JobState::Running => "PENDING".to_owned(),
+                }
+            }
+        },
+        Request::List => {
+            let order = core.order.lock().expect("order poisoned").clone();
+            let jobs = core.jobs.lock().expect("job map poisoned");
+            let mut out = core.stats().line(&format!("OK n={}", order.len()));
+            for key in order {
+                if let Some(job) = jobs.get(&key) {
+                    out.push_str(&format!(
+                        "\n{} {} {} threshold={:?}",
+                        job.key.hex(),
+                        job.state_name(),
+                        job.request.app,
+                        job.request.threshold,
+                    ));
+                }
+            }
+            out
+        }
+        Request::Shutdown => core.drain().line("BYE"),
+    }
+}

@@ -1,0 +1,499 @@
+//! Serialization of tuning artifacts to and from the JSON subset.
+//!
+//! The persisted unit is a [`TuningRecord`]: the tuning outcome plus
+//! everything a warm consumer needs to rebuild a full
+//! `tp_bench::AppResult` *without running the kernel* — the validated
+//! storage configuration and the baseline/tuned [`TraceCounts`] (platform
+//! reports are pure functions of counts and parameters, so they are
+//! recomputed at load time rather than stored).
+//!
+//! All hash-map-backed collections are emitted in sorted key order, so a
+//! record always serializes to the same bytes — the property the store's
+//! checksums and the golden round-trip test (which doubles as the "adding
+//! a field forces a version bump" tripwire) rest on.
+//!
+//! # Interned variable names
+//!
+//! `VarSpec::name` and `TypeConfig` keys are `&'static str` (variable
+//! names are string literals in kernel sources). Deserialization has to
+//! produce the same type, so parsed names go through a tiny process-wide
+//! interner: each *distinct* name is leaked exactly once and reused
+//! forever after. The leak is bounded by the number of distinct variable
+//! names ever deserialized — a few dozen short strings for the whole
+//! kernel suite.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use flexfloat::{OpCounts, OpKind, TraceCounts, TypeConfig, VarSpec};
+use tp_formats::{FpFormat, TypeSystem};
+use tp_tuner::{ReplaySummary, TunedVar, TuningOutcome};
+
+use crate::json::Value;
+
+/// Version of the serialized record shape (and of the store's on-disk
+/// layout, which embeds it in the directory name and entry headers).
+/// Bump it whenever the serialized shape changes — older entries then
+/// read as cache misses instead of parse errors or, worse, wrong data.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The persisted result of one tuning job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningRecord {
+    /// The search outcome (per-variable formats, evaluation accounting).
+    pub outcome: TuningOutcome,
+    /// The *validated* storage mapping (step 3 of the programming flow,
+    /// including any promotions the re-validation required) — stored so a
+    /// warm run does not need to re-run the validation's kernel calls.
+    pub storage: TypeConfig,
+    /// Recorded counts of the all-binary32 baseline run on the
+    /// measurement input set.
+    pub baseline_counts: TraceCounts,
+    /// Recorded counts of the tuned (storage-mapped) run.
+    pub tuned_counts: TraceCounts,
+}
+
+/// A deserialization failure: the record was structurally JSON but not a
+/// valid record (wrong version, missing field, malformed format string…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn de(msg: impl Into<String>) -> DecodeError {
+    DecodeError(msg.into())
+}
+
+/// Interns a parsed variable name, yielding the `&'static str` the core
+/// types require. Each distinct name is leaked once, process-wide.
+#[must_use]
+pub fn intern(name: &str) -> &'static str {
+    static POOL: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(&leaked) = pool.get(name) {
+        return leaked;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    pool.insert(name.to_owned(), leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Leaf encoders/decoders
+// ---------------------------------------------------------------------------
+
+fn fmt_str(f: FpFormat) -> String {
+    format!("e{}m{}", f.exp_bits(), f.man_bits())
+}
+
+fn parse_fmt(s: &str) -> Result<FpFormat, DecodeError> {
+    let rest = s
+        .strip_prefix('e')
+        .ok_or_else(|| de(format!("bad format {s:?}")))?;
+    let (e, m) = rest
+        .split_once('m')
+        .ok_or_else(|| de(format!("bad format {s:?}")))?;
+    let e: u32 = e.parse().map_err(|_| de(format!("bad format {s:?}")))?;
+    let m: u32 = m.parse().map_err(|_| de(format!("bad format {s:?}")))?;
+    FpFormat::new(e, m).map_err(|err| de(format!("bad format {s:?}: {err}")))
+}
+
+fn kind_str(k: OpKind) -> &'static str {
+    match k {
+        OpKind::AddSub => "addsub",
+        OpKind::Mul => "mul",
+        OpKind::Div => "div",
+        OpKind::Sqrt => "sqrt",
+        OpKind::Fma => "fma",
+        OpKind::Cmp => "cmp",
+    }
+}
+
+fn parse_kind(s: &str) -> Result<OpKind, DecodeError> {
+    OpKind::ALL
+        .into_iter()
+        .find(|k| kind_str(*k) == s)
+        .ok_or_else(|| de(format!("bad op kind {s:?}")))
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, DecodeError> {
+    v.get(key)
+        .ok_or_else(|| de(format!("missing field {key:?}")))
+}
+
+fn get_num(v: &Value, key: &str) -> Result<u64, DecodeError> {
+    get(v, key)?
+        .as_num()
+        .ok_or_else(|| de(format!("field {key:?} is not a number")))
+}
+
+fn get_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, DecodeError> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| de(format!("field {key:?} is not a string")))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, DecodeError> {
+    get(v, key)?
+        .as_bool()
+        .ok_or_else(|| de(format!("field {key:?} is not a bool")))
+}
+
+fn get_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], DecodeError> {
+    get(v, key)?
+        .as_arr()
+        .ok_or_else(|| de(format!("field {key:?} is not an array")))
+}
+
+fn scalar_vector(oc: OpCounts, v: Value) -> Value {
+    v.field("scalar", Value::Num(oc.scalar))
+        .field("vector", Value::Num(oc.vector))
+}
+
+fn parse_scalar_vector(v: &Value) -> Result<OpCounts, DecodeError> {
+    Ok(OpCounts {
+        scalar: get_num(v, "scalar")?,
+        vector: get_num(v, "vector")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// TraceCounts
+// ---------------------------------------------------------------------------
+
+/// Encodes [`TraceCounts`] (hash maps sorted into deterministic arrays).
+#[must_use]
+pub fn counts_to_value(c: &TraceCounts) -> Value {
+    let ops: BTreeMap<_, _> = c.ops.iter().map(|(k, v)| (*k, *v)).collect();
+    let casts: BTreeMap<_, _> = c.casts.iter().map(|(k, v)| (*k, *v)).collect();
+    let loads: BTreeMap<_, _> = c.loads.iter().map(|(k, v)| (*k, *v)).collect();
+    let stores: BTreeMap<_, _> = c.stores.iter().map(|(k, v)| (*k, *v)).collect();
+    let deps: BTreeMap<_, _> = c.dependent_pairs.iter().map(|(k, v)| (*k, *v)).collect();
+    let mem = |m: BTreeMap<u32, OpCounts>| {
+        Value::Arr(
+            m.into_iter()
+                .map(|(w, oc)| scalar_vector(oc, Value::obj().field("width", Value::Num(w.into()))))
+                .collect(),
+        )
+    };
+    Value::obj()
+        .field("int_ops", Value::Num(c.int_ops))
+        .field(
+            "ops",
+            Value::Arr(
+                ops.into_iter()
+                    .map(|((f, k), oc)| {
+                        scalar_vector(
+                            oc,
+                            Value::obj()
+                                .field("format", Value::Str(fmt_str(f)))
+                                .field("kind", Value::Str(kind_str(k).to_owned())),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "casts",
+            Value::Arr(
+                casts
+                    .into_iter()
+                    .map(|((from, to), oc)| {
+                        scalar_vector(
+                            oc,
+                            Value::obj()
+                                .field("from", Value::Str(fmt_str(from)))
+                                .field("to", Value::Str(fmt_str(to))),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .field("loads", mem(loads))
+        .field("stores", mem(stores))
+        .field(
+            "dependent_pairs",
+            Value::Arr(
+                deps.into_iter()
+                    .map(|(f, oc)| {
+                        scalar_vector(oc, Value::obj().field("format", Value::Str(fmt_str(f))))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Decodes [`counts_to_value`]'s encoding.
+///
+/// # Errors
+///
+/// Any missing field, type mismatch or malformed format string.
+pub fn counts_from_value(v: &Value) -> Result<TraceCounts, DecodeError> {
+    let mut c = TraceCounts::new();
+    c.int_ops = get_num(v, "int_ops")?;
+    for item in get_arr(v, "ops")? {
+        let f = parse_fmt(get_str(item, "format")?)?;
+        let k = parse_kind(get_str(item, "kind")?)?;
+        c.ops.insert((f, k), parse_scalar_vector(item)?);
+    }
+    for item in get_arr(v, "casts")? {
+        let from = parse_fmt(get_str(item, "from")?)?;
+        let to = parse_fmt(get_str(item, "to")?)?;
+        c.casts.insert((from, to), parse_scalar_vector(item)?);
+    }
+    for (key, map) in [("loads", &mut c.loads), ("stores", &mut c.stores)] {
+        for item in get_arr(v, key)? {
+            let w = u32::try_from(get_num(item, "width")?)
+                .map_err(|_| de("memory width out of range"))?;
+            map.insert(w, parse_scalar_vector(item)?);
+        }
+    }
+    for item in get_arr(v, "dependent_pairs")? {
+        let f = parse_fmt(get_str(item, "format")?)?;
+        c.dependent_pairs.insert(f, parse_scalar_vector(item)?);
+    }
+    Ok(c)
+}
+
+// ---------------------------------------------------------------------------
+// TypeConfig
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`TypeConfig`] (explicit assignments are already sorted —
+/// the map is a `BTreeMap` keyed by name).
+#[must_use]
+pub fn config_to_value(cfg: &TypeConfig) -> Value {
+    Value::obj()
+        .field("default", Value::Str(fmt_str(cfg.default_format())))
+        .field(
+            "assign",
+            Value::Arr(
+                cfg.iter()
+                    .map(|(name, f)| {
+                        Value::obj()
+                            .field("name", Value::Str(name.to_owned()))
+                            .field("format", Value::Str(fmt_str(f)))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Decodes [`config_to_value`]'s encoding (names are interned).
+///
+/// # Errors
+///
+/// Any missing field, type mismatch or malformed format string.
+pub fn config_from_value(v: &Value) -> Result<TypeConfig, DecodeError> {
+    let mut cfg = TypeConfig::uniform(parse_fmt(get_str(v, "default")?)?);
+    for item in get_arr(v, "assign")? {
+        cfg.set(
+            intern(get_str(item, "name")?),
+            parse_fmt(get_str(item, "format")?)?,
+        );
+    }
+    Ok(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// TuningOutcome / TuningRecord
+// ---------------------------------------------------------------------------
+
+fn type_system_str(ts: TypeSystem) -> &'static str {
+    match ts {
+        TypeSystem::V1 => "V1",
+        TypeSystem::V2 => "V2",
+    }
+}
+
+fn parse_type_system(s: &str) -> Result<TypeSystem, DecodeError> {
+    match s {
+        "V1" => Ok(TypeSystem::V1),
+        "V2" => Ok(TypeSystem::V2),
+        other => Err(de(format!("bad type system {other:?}"))),
+    }
+}
+
+/// Encodes a [`TuningOutcome`] (including its [`ReplaySummary`]).
+#[must_use]
+pub fn outcome_to_value(o: &TuningOutcome) -> Value {
+    Value::obj()
+        .field("app", Value::Str(o.app.clone()))
+        .field("threshold", Value::f64(o.threshold))
+        .field(
+            "type_system",
+            Value::Str(type_system_str(o.type_system).to_owned()),
+        )
+        .field("evaluations", Value::Num(o.evaluations))
+        .field(
+            "replay",
+            Value::obj()
+                .field("traces", Value::Num(o.replay.traces as u64))
+                .field("replayed", Value::Num(o.replay.replayed))
+                .field("diverged", Value::Num(o.replay.diverged)),
+        )
+        .field(
+            "vars",
+            Value::Arr(
+                o.vars
+                    .iter()
+                    .map(|v| {
+                        Value::obj()
+                            .field("name", Value::Str(v.spec.name.to_owned()))
+                            .field("elements", Value::Num(v.spec.elements as u64))
+                            .field("precision_bits", Value::Num(v.precision_bits.into()))
+                            .field("needs_wide_range", Value::Bool(v.needs_wide_range))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Decodes [`outcome_to_value`]'s encoding (variable names are interned).
+///
+/// # Errors
+///
+/// Any missing field, type mismatch or out-of-range count.
+pub fn outcome_from_value(v: &Value) -> Result<TuningOutcome, DecodeError> {
+    let replay = get(v, "replay")?;
+    let mut vars = Vec::new();
+    for item in get_arr(v, "vars")? {
+        let name = intern(get_str(item, "name")?);
+        let elements = usize::try_from(get_num(item, "elements")?)
+            .map_err(|_| de("element count out of range"))?;
+        vars.push(TunedVar {
+            spec: VarSpec { name, elements },
+            precision_bits: u32::try_from(get_num(item, "precision_bits")?)
+                .map_err(|_| de("precision out of range"))?,
+            needs_wide_range: get_bool(item, "needs_wide_range")?,
+        });
+    }
+    Ok(TuningOutcome {
+        app: get_str(v, "app")?.to_owned(),
+        threshold: get(v, "threshold")?
+            .as_f64()
+            .ok_or_else(|| de("threshold is not an exact f64 string"))?,
+        type_system: parse_type_system(get_str(v, "type_system")?)?,
+        vars,
+        evaluations: get_num(v, "evaluations")?,
+        replay: ReplaySummary {
+            traces: usize::try_from(get_num(replay, "traces")?)
+                .map_err(|_| de("trace count out of range"))?,
+            replayed: get_num(replay, "replayed")?,
+            diverged: get_num(replay, "diverged")?,
+        },
+    })
+}
+
+/// Encodes a whole [`TuningRecord`], version header included.
+#[must_use]
+pub fn record_to_value(r: &TuningRecord) -> Value {
+    Value::obj()
+        .field("store_version", Value::Num(FORMAT_VERSION.into()))
+        .field("outcome", outcome_to_value(&r.outcome))
+        .field("storage", config_to_value(&r.storage))
+        .field("baseline_counts", counts_to_value(&r.baseline_counts))
+        .field("tuned_counts", counts_to_value(&r.tuned_counts))
+}
+
+/// Decodes [`record_to_value`]'s encoding, rejecting other versions.
+///
+/// # Errors
+///
+/// A version mismatch (a cross-version entry must read as a miss, never
+/// as data) or any field-level decode failure.
+pub fn record_from_value(v: &Value) -> Result<TuningRecord, DecodeError> {
+    let version = get_num(v, "store_version")?;
+    if version != u64::from(FORMAT_VERSION) {
+        return Err(de(format!(
+            "record version {version} != supported {FORMAT_VERSION}"
+        )));
+    }
+    Ok(TuningRecord {
+        outcome: outcome_from_value(get(v, "outcome")?)?,
+        storage: config_from_value(get(v, "storage")?)?,
+        baseline_counts: counts_from_value(get(v, "baseline_counts")?)?,
+        tuned_counts: counts_from_value(get(v, "tuned_counts")?)?,
+    })
+}
+
+/// Renders a record as the canonical JSON text (what the store writes and
+/// the service ships).
+#[must_use]
+pub fn record_to_json(r: &TuningRecord) -> String {
+    record_to_value(r).to_json()
+}
+
+/// Parses [`record_to_json`]'s output.
+///
+/// # Errors
+///
+/// JSON-level errors and record-level decode failures are both reported
+/// as [`DecodeError`].
+pub fn record_from_json(text: &str) -> Result<TuningRecord, DecodeError> {
+    let v = Value::parse(text).map_err(|e| de(format!("JSON: {e}")))?;
+    record_from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::sample_record;
+    use tp_formats::{BINARY16, BINARY8};
+
+    #[test]
+    fn record_round_trips_exactly() {
+        let r = sample_record();
+        let text = record_to_json(&r);
+        let back = record_from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // And the re-rendering is byte-identical (determinism).
+        assert_eq!(record_to_json(&back), text);
+    }
+
+    #[test]
+    fn cross_version_records_are_rejected() {
+        let r = sample_record();
+        let text = record_to_json(&r).replace("\"store_version\": 1", "\"store_version\": 999");
+        let err = record_from_json(&text).unwrap_err();
+        assert!(err.0.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn decode_errors_name_the_problem() {
+        assert!(record_from_json("not json").unwrap_err().0.contains("JSON"));
+        let missing = Value::obj().field("store_version", Value::Num(1)).to_json();
+        assert!(record_from_json(&missing)
+            .unwrap_err()
+            .0
+            .contains("outcome"));
+        assert!(parse_fmt("e8").is_err());
+        assert!(parse_fmt("m7e2").is_err());
+        assert!(parse_fmt("e99m99").is_err());
+        assert!(parse_kind("nop").is_err());
+        assert!(parse_type_system("V3").is_err());
+    }
+
+    #[test]
+    fn intern_returns_one_pointer_per_name() {
+        let a = intern("some-var");
+        let b = intern("some-var");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "some-var");
+        assert_ne!(intern("other-var"), "some-var");
+    }
+
+    #[test]
+    fn config_round_trips_including_default() {
+        let cfg = TypeConfig::uniform(BINARY16).with("w", BINARY8);
+        let back = config_from_value(&config_to_value(&cfg)).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.format_of("unseen"), BINARY16);
+    }
+}

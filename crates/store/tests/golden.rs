@@ -1,0 +1,38 @@
+//! Golden round-trip test of the store serialization.
+//!
+//! `golden_record_v1.json` pins the exact bytes `record_to_json` produces
+//! for the shared sample record. If this test fails, the serialized shape
+//! of [`tp_store::TuningRecord`] changed — which invalidates every entry
+//! already on disk. That is sometimes the right thing to do, but it must
+//! be a *conscious* decision: bump [`tp_store::FORMAT_VERSION`] (old
+//! entries become invisible instead of misparsed) and regenerate this
+//! golden file in the same commit.
+
+use tp_store::test_util::sample_record;
+use tp_store::{record_from_json, record_to_json};
+
+const GOLDEN: &str = include_str!("golden_record_v1.json");
+
+#[test]
+fn serialization_matches_the_golden_bytes() {
+    let rendered = record_to_json(&sample_record());
+    assert_eq!(
+        rendered, GOLDEN,
+        "serialized record shape changed — bump tp_store::FORMAT_VERSION \
+         and regenerate tests/golden_record_v1.json"
+    );
+}
+
+#[test]
+fn golden_bytes_decode_to_the_sample_record() {
+    let decoded = record_from_json(GOLDEN).expect("golden file must parse");
+    assert_eq!(decoded, sample_record());
+}
+
+#[test]
+fn golden_file_advertises_the_current_version() {
+    assert!(
+        GOLDEN.contains(&format!("\"store_version\": {}", tp_store::FORMAT_VERSION)),
+        "golden file and FORMAT_VERSION drifted apart"
+    );
+}

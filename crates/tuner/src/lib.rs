@@ -53,6 +53,17 @@ mod report;
 mod search;
 mod tunable;
 
+/// Version of the precision-search algorithm, as seen by result caches.
+///
+/// A persisted [`TuningOutcome`] is only reusable while the search that
+/// produced it would still produce the same answer, so `tp-store` folds
+/// this number into every job key. Bump it whenever a change to this crate
+/// can alter chosen formats, evaluation counts or replay summaries for
+/// *some* input (new phases, different probe order, changed join rules…);
+/// cached results from older versions then simply stop being found instead
+/// of being served stale.
+pub const TUNER_VERSION: u32 = 1;
+
 pub use cast_aware::{cast_aware_refine, CastAwareOutcome};
 pub use metrics::{max_relative_error, relative_rms_error, sqnr_db};
 pub use pool::{join2, parallel_map, resolve_workers};

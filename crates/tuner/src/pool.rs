@@ -18,19 +18,28 @@ use flexfloat::Engine;
 /// `0` means *auto*: the `TP_WORKERS` environment variable if set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`].
 /// Any other value is taken as-is.
+///
+/// # Panics
+///
+/// A set-but-invalid `TP_WORKERS` (not a positive integer) fails fast,
+/// like every other `TP_*` knob: silently falling back to the machine
+/// default would hide a typo as a mysterious performance change. The full
+/// knob table lives in `tp_bench::env`.
 #[must_use]
 pub fn resolve_workers(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(s) = std::env::var("TP_WORKERS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+    match std::env::var("TP_WORKERS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("TP_WORKERS={s:?} is not a positive worker count"),
+        },
+        Err(std::env::VarError::NotPresent) => {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         }
+        Err(e) => panic!("TP_WORKERS is set but unreadable: {e}"),
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Maps `f` over `0..n` with up to `workers` scoped threads and returns the

@@ -73,6 +73,38 @@ impl TunerMode {
             Err(e) => panic!("TP_TUNER_MODE is set but unreadable: {e}"),
         })
     }
+
+    /// The canonical spelling (`"live"` / `"replay"`) — the string
+    /// `TP_TUNER_MODE` speaks, also used in job keys and wire requests.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TunerMode::Live => "live",
+            TunerMode::Replay => "replay",
+        }
+    }
+}
+
+impl std::str::FromStr for TunerMode {
+    type Err = String;
+
+    /// Parses the canonical spelling; anything else is an error (callers
+    /// are expected to fail fast, like the env readers do).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "live" => Ok(TunerMode::Live),
+            "replay" => Ok(TunerMode::Replay),
+            other => Err(format!(
+                "{other:?} is not a tuner mode (use \"live\" or \"replay\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TunerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// How much of a tuning run the replay engine carried (all zero in
@@ -233,7 +265,12 @@ impl SearchParams {
 }
 
 /// Result of tuning a single variable.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is field-by-field: two results are equal exactly when the
+/// variable, the chosen precision and the wide-range verdict all match —
+/// this is what the store's round-trip tests and the service's
+/// bit-identity assertions compare.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TunedVar {
     /// The variable, with its element count.
     pub spec: VarSpec,
@@ -255,7 +292,14 @@ impl TunedVar {
 }
 
 /// Outcome of a full tuning run.
-#[derive(Debug, Clone)]
+///
+/// Every field is public and plain data, so outcomes are constructible by
+/// deserializers (`tp-store` persists them field-by-field) and comparable
+/// with `==`. Adding a field here changes the persisted shape: the store's
+/// golden round-trip test will fail, forcing a conscious bump of the store
+/// format version (and of [`TUNER_VERSION`](crate::TUNER_VERSION) if the
+/// search behavior changed too).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TuningOutcome {
     /// Application name.
     pub app: String,

@@ -141,10 +141,18 @@ fn explicit_workers_beat_env() {
     std::env::set_var("TP_WORKERS", "3");
     assert_eq!(tp_tuner::resolve_workers(5), 5, "explicit beats env");
     assert_eq!(tp_tuner::resolve_workers(0), 3, "auto reads env");
+    // An invalid TP_WORKERS fails fast (like every TP_* knob — see
+    // tp_bench::env): a typo must be a crash, not a silent fallback that
+    // reads as a performance regression.
     std::env::set_var("TP_WORKERS", "not a number");
     assert!(
-        tp_tuner::resolve_workers(0) >= 1,
-        "garbage env falls back to available_parallelism"
+        std::panic::catch_unwind(|| tp_tuner::resolve_workers(0)).is_err(),
+        "garbage TP_WORKERS must fail fast"
+    );
+    std::env::set_var("TP_WORKERS", "0");
+    assert!(
+        std::panic::catch_unwind(|| tp_tuner::resolve_workers(0)).is_err(),
+        "zero TP_WORKERS must fail fast"
     );
     std::env::remove_var("TP_WORKERS");
     assert!(tp_tuner::resolve_workers(0) >= 1);

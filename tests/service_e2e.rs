@@ -1,0 +1,210 @@
+//! End-to-end acceptance of the tuning service (ISSUE 5):
+//!
+//! * ≥ 8 concurrent client submissions (mixed kernels, duplicate keys
+//!   included) against a server with concurrency 8;
+//! * served formats bit-identical to cold direct `evaluate_app_with`-path
+//!   calls at several worker counts;
+//! * a repeated `SUBMIT` against a warm store executes **zero** kernel
+//!   evaluations (asserted via a run counter that counts every kernel
+//!   execution: searches, references, validation and trace recording);
+//! * graceful shutdown accounts for every request.
+
+use std::sync::atomic::Ordering;
+
+use tp_bench::{evaluate_app_in, tuned_record};
+use tp_kernels::kernel_by_name;
+use tp_platform::PlatformParams;
+use tp_serve::test_util::counting_resolver;
+use tp_serve::{Client, ServeConfig, Server};
+use tp_store::test_util::TempDir;
+use tp_store::Store;
+use tp_tuner::{SearchParams, TunerMode};
+
+/// The eight concurrent submissions of the acceptance scenario: six
+/// distinct jobs plus two duplicates (CONV and DWT appear twice).
+const SUBMISSIONS: [&str; 8] = [
+    "SUBMIT app=CONV:small threshold=1e-1",
+    "SUBMIT app=DWT:small threshold=1e-1",
+    "SUBMIT app=JACOBI:small threshold=1e-1",
+    "SUBMIT app=CONV:small threshold=1e-1", // duplicate key
+    "SUBMIT app=SVM:small threshold=1e-2",
+    "SUBMIT app=KNN:small threshold=1e-1",
+    "SUBMIT app=DWT:small threshold=1e-1", // duplicate key
+    "SUBMIT app=PCA:small threshold=1e-1",
+];
+
+/// Fires all eight submissions from eight concurrent client threads and
+/// returns `(spec, key, record, cache_hit)` per submission.
+fn concurrent_pass(addr: &str) -> Vec<(String, String, tp_serve::JobResult)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = SUBMISSIONS
+            .iter()
+            .map(|spec| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let (key, _state) = client.submit(spec).expect("submit");
+                    let result = client.result_wait(&key).expect("result");
+                    (spec.to_string(), key, result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn service_acceptance_concurrent_clients_warm_store_zero_evaluations() {
+    let dir = TempDir::new("e2e");
+    let (resolver, runs) = counting_resolver();
+
+    // ---- Pass 1: cold server, 8 concurrent clients, duplicates included.
+    let server = Server::bind(ServeConfig {
+        concurrency: 8,
+        resolver: resolver.clone(),
+        store: Some(Store::open_default(dir.path()).unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let pass1 = concurrent_pass(&addr);
+    // Duplicate specs keyed identically and share one record.
+    for (spec_a, key_a, res_a) in &pass1 {
+        for (spec_b, key_b, res_b) in &pass1 {
+            if spec_a == spec_b {
+                assert_eq!(key_a, key_b, "{spec_a}");
+                assert_eq!(res_a.record, res_b.record, "{spec_a}");
+            }
+        }
+    }
+    let mut client = Client::connect(&addr).unwrap();
+    let bye = client.shutdown().unwrap();
+    let stats1 = handle.join().unwrap();
+    assert!(bye.starts_with("BYE"), "{bye}");
+    // 6 distinct jobs; 2 joins — whether a duplicate joined in-flight or
+    // arrived after completion, it never occupies a second queue slot.
+    assert_eq!(stats1.submitted + stats1.deduped, 8);
+    assert_eq!(stats1.submitted, 6, "duplicate keys must single-flight");
+    assert_eq!(stats1.completed, 6);
+    assert_eq!(stats1.failed, 0);
+    assert_eq!(stats1.store_misses, 6, "cold pass must compute everything");
+    let cold_runs = runs.load(Ordering::SeqCst);
+    assert!(cold_runs > 0);
+
+    // ---- Served formats are bit-identical to cold direct library calls,
+    // at worker counts 1 and 3 (worker-invariance of the direct path).
+    for workers in [1usize, 3] {
+        for (spec, _key, result) in &pass1 {
+            let app_spec = spec
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("app="))
+                .unwrap();
+            let threshold: f64 = spec
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("threshold="))
+                .unwrap()
+                .parse()
+                .unwrap();
+            let app = kernel_by_name(app_spec).unwrap();
+            let direct = tuned_record(
+                app.as_ref(),
+                SearchParams::paper(threshold).with_workers(workers),
+            );
+            assert_eq!(
+                tp_serve::format_summary(&direct),
+                tp_serve::format_summary(&result.record),
+                "{spec} workers={workers}: served formats differ from direct"
+            );
+            assert_eq!(direct.storage, result.record.storage, "{spec}");
+            assert_eq!(
+                direct.tuned_counts, result.record.tuned_counts,
+                "{spec}: tuned accounting differs"
+            );
+        }
+    }
+
+    // ---- Pass 2: fresh server on the same store. 100% hit rate, zero
+    // kernel evaluations, bit-identical results.
+    let before_warm = runs.load(Ordering::SeqCst);
+    let server = Server::bind(ServeConfig {
+        concurrency: 8,
+        resolver,
+        store: Some(Store::open_default(dir.path()).unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let pass2 = concurrent_pass(&addr);
+    for (spec, key2, warm) in &pass2 {
+        assert!(warm.cache_hit, "{spec}: second pass must be a store hit");
+        let (_, key1, cold) = pass1.iter().find(|(s, _, _)| s == spec).unwrap();
+        assert_eq!(key1, key2, "{spec}: key changed across restarts");
+        assert_eq!(
+            cold.record, warm.record,
+            "{spec}: record not bit-stable across restarts"
+        );
+    }
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        before_warm,
+        "warm pass executed kernel evaluations"
+    );
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    let stats2 = handle.join().unwrap();
+    assert_eq!(stats2.store_hits, 6, "second pass must be 100% hits");
+    assert_eq!(stats2.store_misses, 0);
+    assert_eq!(stats2.failed, 0);
+}
+
+#[test]
+fn warm_bench_evaluation_is_bit_identical_at_any_worker_count() {
+    // The library-level acceptance twin: evaluate_app_in (the entry point
+    // evaluate_app_with routes through, with the store injected instead
+    // of read from TP_STORE_DIR) against a warm store, at server-scale
+    // worker counts.
+    let dir = TempDir::new("e2e-bench");
+    let store = Store::open_default(dir.path()).unwrap();
+    let params = PlatformParams::paper();
+    let (resolver, runs) = counting_resolver();
+    let app = resolver("CONV:small").unwrap();
+
+    let cold = evaluate_app_in(
+        Some(&store),
+        app.as_ref(),
+        1e-1,
+        &params,
+        2,
+        TunerMode::Replay,
+    );
+    assert!(!cold.cache_hit);
+    let cold_runs = runs.load(Ordering::SeqCst);
+
+    for workers in [1usize, 4, 8, 16] {
+        let warm = evaluate_app_in(
+            Some(&store),
+            app.as_ref(),
+            1e-1,
+            &params,
+            workers,
+            TunerMode::Replay,
+        );
+        assert!(warm.cache_hit, "workers={workers}");
+        assert_eq!(warm.outcome, cold.outcome, "workers={workers}");
+        assert_eq!(warm.storage, cold.storage, "workers={workers}");
+        assert_eq!(
+            warm.tuned.energy.total(),
+            cold.tuned.energy.total(),
+            "workers={workers}"
+        );
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            cold_runs,
+            "workers={workers}: zero-evaluation contract broken"
+        );
+    }
+}
