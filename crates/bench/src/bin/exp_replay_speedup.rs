@@ -8,9 +8,10 @@
 //! — the speedup is free of decision drift by construction — and the
 //! per-kernel divergence-fallback rate is reported alongside.
 //!
-//! Straight-line kernels (CONV, DWT, JACOBI — zero recorded comparisons)
-//! never diverge, so every candidate is served from the tape; KNN and PCA
-//! branch on data, so some candidates fall back.
+//! Straight-line kernels (CONV, DWT, JACOBI, GEMM, FFT, MLP — zero
+//! recorded comparisons) never diverge, so every candidate is served from
+//! the tape; KNN, PCA and BLACKSCHOLES branch on data (distance
+//! selection, pivoting, the CDF sign test), so some candidates fall back.
 
 use std::time::Instant;
 
@@ -19,7 +20,7 @@ use tp_tuner::{distributed_search, SearchParams, TunerMode, TuningOutcome};
 
 /// Straight-line kernels the replay path must visibly accelerate
 /// (acceptance: replay ≤ 0.7× live wall-clock).
-const STRAIGHT_LINE: [&str; 3] = ["CONV", "DWT", "JACOBI"];
+const STRAIGHT_LINE: [&str; 6] = ["CONV", "DWT", "JACOBI", "GEMM", "FFT", "MLP"];
 
 /// Best-of-two timing: the second run is measured against a warm cache and
 /// the minimum suppresses scheduler noise — both runs produce identical
@@ -85,7 +86,7 @@ fn main() {
 
     println!();
     if straight_line_ok {
-        println!("straight-line kernels (CONV/DWT/JACOBI): replay <= 0.7x live — OK");
+        println!("straight-line kernels (CONV/DWT/JACOBI/GEMM/FFT/MLP): replay <= 0.7x live — OK");
     } else {
         // Informational on noisy shared runners; the ratio above tells the
         // real story.

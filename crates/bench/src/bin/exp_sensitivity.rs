@@ -9,8 +9,17 @@
 use tp_bench::{evaluate_suite, mean, pct, results_to_json, want_json};
 use tp_platform::PlatformParams;
 
+/// The kernels whose Fig. 7 ordering the ablation tracks — the paper's
+/// Section V-A six. The registry's four added families (GEMM, FFT, MLP,
+/// BLACKSCHOLES) run in the suite but make no ordering claims here.
+const PAPER_SIX: [&str; 6] = ["JACOBI", "KNN", "PCA", "DWT", "SVM", "CONV"];
+
 fn suite_summary(params: &PlatformParams) -> (f64, f64, f64, bool) {
-    let rs = evaluate_suite(1e-1, params);
+    let all = evaluate_suite(1e-1, params);
+    let rs: Vec<_> = all
+        .iter()
+        .filter(|r| PAPER_SIX.contains(&r.app.as_str()))
+        .collect();
     let ratios: Vec<f64> = rs.iter().map(|r| r.energy_ratio()).collect();
     let knn = rs
         .iter()

@@ -265,13 +265,16 @@ pub fn evaluate_suite_with(
 
 /// The suite-level fan-out shared by every whole-suite entry point: one
 /// worker per kernel first, the surplus handed to each kernel's own
-/// search. `f` receives the kernel and its inner worker budget.
+/// search. `f` receives the kernel and its inner worker budget. The
+/// suite itself comes from the shared kernel registry
+/// (`tp_kernels::registry()`, via [`tp_kernels::all_kernels`]), in
+/// registration order.
 ///
 /// Ceiling division: a budget that does not divide evenly still reaches
-/// the per-kernel searches (8 workers / 6 kernels -> 2 per search, not 1).
-/// The transient oversubscription is at most `outer - 1` threads, which
-/// the scheduler absorbs; dropping the surplus would instead force every
-/// search sequential.
+/// the per-kernel searches (16 workers / 10 kernels -> 2 per search, not
+/// 1). The transient oversubscription is at most `outer - 1` threads,
+/// which the scheduler absorbs; dropping the surplus would instead force
+/// every search sequential.
 fn suite_fan_out<T: Send>(workers: usize, f: impl Fn(&dyn Tunable, usize) -> T + Sync) -> Vec<T> {
     let kernels = tp_kernels::all_kernels();
     let total = resolve_workers(workers);

@@ -5,7 +5,7 @@
 //! and tagged vectorizable.
 
 use flexfloat::{Fx, FxArray, Recorder, TypeConfig, VarSpec, VectorSection};
-use tp_tuner::Tunable;
+use tp_tuner::{Tunable, TunableBuilder};
 
 use crate::common::{rng_for, uniform};
 
@@ -46,6 +46,21 @@ impl Conv {
             }
         }
         img
+    }
+
+    /// This kernel constructed through [`TunableBuilder`] — the
+    /// closure-registration path — instead of the hand-written
+    /// `impl Tunable` block. This is the form the default kernel
+    /// [`Registry`](tp_tuner::Registry) registers, proving the builder
+    /// reproduces a real kernel end to end; the impl block stays as the
+    /// equivalence oracle (and for code that wants the concrete type).
+    #[must_use]
+    pub fn via_builder(self) -> Box<dyn Tunable> {
+        TunableBuilder::new("CONV")
+            .variables(self.variables())
+            .run(move |config, input_set| self.run(config, input_set))
+            .build()
+            .expect("CONV declares a valid variable set")
     }
 
     /// A normalized blur-like 5×5 filter with mild asymmetry.
@@ -174,6 +189,19 @@ mod tests {
         assert!(counts.fp_ops_in(BINARY32) > 0);
         // 2 ops (mul + add) per tap, 25 taps, 36 output cells.
         assert_eq!(total, 2 * 25 * 36);
+    }
+
+    #[test]
+    fn builder_form_is_equivalent_to_the_impl() {
+        let app = Conv::small();
+        let built = app.clone().via_builder();
+        assert_eq!(built.name(), app.name());
+        assert_eq!(built.variables(), app.variables());
+        assert_eq!(
+            built.run(&TypeConfig::baseline(), 0),
+            app.run(&TypeConfig::baseline(), 0)
+        );
+        assert_eq!(built.reference(1), app.reference(1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The six FP-intensive benchmark applications of the transprecision
-//! platform paper (Section V-A), instrumented for precision tuning.
+//! The FP-intensive benchmark applications of the transprecision
+//! platform paper (Section V-A) plus four additional workload families,
+//! instrumented for precision tuning.
 //!
 //! Each kernel implements [`tp_tuner::Tunable`]: it declares its FP
 //! variables (the tunable "memory locations" of Fig. 4), runs under an
@@ -7,6 +8,8 @@
 //! the outputs whose quality the tuner constrains. Vectorizable loops are
 //! tagged with [`VectorSection`](flexfloat::VectorSection) guards exactly
 //! where the paper's sources were manually tagged.
+//!
+//! The paper's six evaluation kernels:
 //!
 //! | Kernel | Domain | Transprecision profile (paper) |
 //! |--------|--------|--------------------------------|
@@ -17,9 +20,24 @@
 //! | [`Svm`] | SVM prediction stage | ~60 % vector ops, −48 % memory accesses |
 //! | [`Conv`] | 5×5 convolution | almost fully vectorizable MACs |
 //!
+//! Four further families broaden the platform beyond the paper's set
+//! (paper-claim assertions keep keying on the six above):
+//!
+//! | Kernel | Domain | Transprecision profile |
+//! |--------|--------|------------------------|
+//! | [`Gemm`] | dense matrix multiply | vector-unit heavy, >90 % vector MACs |
+//! | [`Fft`] | radix-2 FFT | twiddle-table quantization sensitivity, straight-line |
+//! | [`Mlp`] | 2-layer MLP inference | matvec + softsign activation, straight-line |
+//! | [`BlackScholes`] | option pricing | exp/ln/sqrt/CDF heavy, scalar, branches on sign |
+//!
+//! Kernels resolve by name through an open [`tp_tuner::Registry`]
+//! ([`registry`] holds the default population); user-defined kernels built
+//! with [`tp_tuner::TunableBuilder`] register in their own `Registry` the
+//! same way — see the workspace's `examples/custom_kernel.rs`.
+//!
 //! ```
 //! use flexfloat::TypeConfig;
-//! use tp_kernels::{all_kernels, Conv};
+//! use tp_kernels::{all_kernels, registry, Conv};
 //! use tp_tuner::Tunable;
 //!
 //! let conv = Conv::small();
@@ -27,54 +45,118 @@
 //! assert_eq!(out.len(), 36);
 //!
 //! // The whole suite, as trait objects, for harness loops:
-//! assert_eq!(all_kernels().len(), 6);
+//! assert_eq!(all_kernels().len(), 10);
+//! // ...is the default registry's suite:
+//! assert_eq!(registry().len(), 10);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blackscholes;
 mod common;
 mod conv;
 mod dwt;
+mod fft;
+mod gemm;
 mod jacobi;
 mod knn;
+mod mlp;
 mod pca;
 mod svm;
 
+pub use blackscholes::BlackScholes;
 pub use common::{gaussian_ish, rng_for, uniform};
 pub use conv::{Conv, K};
 pub use dwt::Dwt;
+pub use fft::Fft;
+pub use gemm::Gemm;
 pub use jacobi::Jacobi;
 pub use knn::Knn;
+pub use mlp::Mlp;
 pub use pca::Pca;
 pub use svm::Svm;
 
-use tp_tuner::Tunable;
+use std::sync::OnceLock;
 
-/// The full benchmark suite at the paper's evaluation sizes.
+use tp_tuner::{Registry, SizeVariant, Tunable};
+
+/// Builds a fresh [`Registry`] populated with the ten built-in kernels
+/// (the paper six first, then the four added families), in suite order.
+///
+/// Use this when a private, extensible registry is needed — e.g. to
+/// [`register`](Registry::register) user-defined kernels next to the
+/// built-ins for a custom `tp-serve` resolver. Code that only *resolves*
+/// built-ins should prefer the shared [`registry`].
+///
+/// CONV is registered through its [`TunableBuilder`](tp_tuner::TunableBuilder)
+/// form ([`Conv::via_builder`]) — the closure-registration path and the
+/// hand-written impl are interchangeable behind the registry.
+#[must_use]
+pub fn default_registry() -> Registry {
+    fn sized<P, S, K>(paper: P, small: S) -> impl Fn(SizeVariant) -> Box<dyn Tunable>
+    where
+        P: Fn() -> K,
+        S: Fn() -> K,
+        K: Tunable + 'static,
+    {
+        move |variant| match variant {
+            SizeVariant::Paper => Box::new(paper()),
+            SizeVariant::Small => Box::new(small()),
+        }
+    }
+
+    let mut registry = Registry::new();
+    let mut add =
+        |name: &str, factory: Box<dyn Fn(SizeVariant) -> Box<dyn Tunable> + Send + Sync>| {
+            registry
+                .register(name, factory)
+                .expect("built-in kernels declare valid, unique names");
+        };
+    add("JACOBI", Box::new(sized(Jacobi::paper, Jacobi::small)));
+    add("KNN", Box::new(sized(Knn::paper, Knn::small)));
+    add("PCA", Box::new(sized(Pca::paper, Pca::small)));
+    add("DWT", Box::new(sized(Dwt::paper, Dwt::small)));
+    add("SVM", Box::new(sized(Svm::paper, Svm::small)));
+    add(
+        "CONV",
+        Box::new(|variant| {
+            match variant {
+                SizeVariant::Paper => Conv::paper(),
+                SizeVariant::Small => Conv::small(),
+            }
+            .via_builder()
+        }),
+    );
+    add("GEMM", Box::new(sized(Gemm::paper, Gemm::small)));
+    add("FFT", Box::new(sized(Fft::paper, Fft::small)));
+    add("MLP", Box::new(sized(Mlp::paper, Mlp::small)));
+    add(
+        "BLACKSCHOLES",
+        Box::new(sized(BlackScholes::paper, BlackScholes::small)),
+    );
+    registry
+}
+
+/// The shared default registry: [`default_registry`] built once. This is
+/// what [`all_kernels`], [`kernel_by_name`], the bench harness and the
+/// `tp-serve` default resolver consult.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(default_registry)
+}
+
+/// The full benchmark suite at the paper's evaluation sizes, in
+/// registration order (the paper six, then GEMM, FFT, MLP, BLACKSCHOLES).
 #[must_use]
 pub fn all_kernels() -> Vec<Box<dyn Tunable>> {
-    vec![
-        Box::new(Jacobi::paper()),
-        Box::new(Knn::paper()),
-        Box::new(Pca::paper()),
-        Box::new(Dwt::paper()),
-        Box::new(Svm::paper()),
-        Box::new(Conv::paper()),
-    ]
+    registry().suite(SizeVariant::Paper)
 }
 
 /// The full benchmark suite at miniature sizes, for fast tests.
 #[must_use]
 pub fn all_kernels_small() -> Vec<Box<dyn Tunable>> {
-    vec![
-        Box::new(Jacobi::small()),
-        Box::new(Knn::small()),
-        Box::new(Pca::small()),
-        Box::new(Dwt::small()),
-        Box::new(Svm::small()),
-        Box::new(Conv::small()),
-    ]
+    registry().suite(SizeVariant::Small)
 }
 
 /// Resolves a kernel by its request spelling: the kernel name (`"CONV"`,
@@ -82,67 +164,16 @@ pub fn all_kernels_small() -> Vec<Box<dyn Tunable>> {
 /// `"CONV:paper"` (the default) or `"CONV:small"`. Returns `None` for
 /// unknown names or variants.
 ///
-/// This is the registry the `tp-serve` tuning service and the `tp_client`
-/// binary look jobs up in, so the wire protocol and the library speak the
-/// same kernel identifiers. Note that the two size variants of a kernel
-/// share a display name but declare different variable element counts, so
-/// they key to *different* tuning jobs.
+/// This is a thin shim over [`registry().resolve(spec)`](Registry::resolve),
+/// kept for callers written against the original closed lookup; new code
+/// should resolve through the [`registry`] (or its own [`Registry`]) so
+/// user-registered kernels are visible too. The spec grammar is unchanged:
+/// the two size variants of a kernel share a display name but declare
+/// different variable element counts, so they key to *different* tuning
+/// jobs.
 #[must_use]
 pub fn kernel_by_name(spec: &str) -> Option<Box<dyn Tunable>> {
-    let (name, variant) = match spec.split_once(':') {
-        Some((n, v)) => (n, v),
-        None => (spec, "paper"),
-    };
-    let paper = match variant {
-        "paper" => true,
-        "small" => false,
-        _ => return None,
-    };
-    Some(match name.to_ascii_uppercase().as_str() {
-        "JACOBI" => {
-            if paper {
-                Box::new(Jacobi::paper()) as Box<dyn Tunable>
-            } else {
-                Box::new(Jacobi::small())
-            }
-        }
-        "KNN" => {
-            if paper {
-                Box::new(Knn::paper())
-            } else {
-                Box::new(Knn::small())
-            }
-        }
-        "PCA" => {
-            if paper {
-                Box::new(Pca::paper())
-            } else {
-                Box::new(Pca::small())
-            }
-        }
-        "DWT" => {
-            if paper {
-                Box::new(Dwt::paper())
-            } else {
-                Box::new(Dwt::small())
-            }
-        }
-        "SVM" => {
-            if paper {
-                Box::new(Svm::paper())
-            } else {
-                Box::new(Svm::small())
-            }
-        }
-        "CONV" => {
-            if paper {
-                Box::new(Conv::paper())
-            } else {
-                Box::new(Conv::small())
-            }
-        }
-        _ => return None,
-    })
+    registry().resolve(spec)
 }
 
 #[cfg(test)]
@@ -168,15 +199,86 @@ mod registry_tests {
     fn kernel_by_name_is_case_insensitive_and_strict_on_variants() {
         assert!(kernel_by_name("conv").is_some());
         assert!(kernel_by_name("Conv:small").is_some());
+        assert!(kernel_by_name("blackscholes:small").is_some());
         assert!(kernel_by_name("CONV:big").is_none());
-        assert!(kernel_by_name("FFT").is_none());
+        assert!(kernel_by_name("GEMM:SMALL").is_none());
+        assert!(kernel_by_name("LU").is_none());
         assert!(kernel_by_name("").is_none());
     }
 
     #[test]
     fn size_variants_declare_different_jobs() {
-        let paper = kernel_by_name("CONV").unwrap();
-        let small = kernel_by_name("CONV:small").unwrap();
-        assert_ne!(paper.variables(), small.variables());
+        for name in ["CONV", "GEMM", "FFT", "MLP", "BLACKSCHOLES"] {
+            let paper = kernel_by_name(name).unwrap();
+            let small = kernel_by_name(&format!("{name}:small")).unwrap();
+            assert_ne!(paper.variables(), small.variables(), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_lists_ten_kernels_in_suite_order() {
+        let names: Vec<&str> = registry().names().collect();
+        assert_eq!(
+            names,
+            [
+                "JACOBI",
+                "KNN",
+                "PCA",
+                "DWT",
+                "SVM",
+                "CONV",
+                "GEMM",
+                "FFT",
+                "MLP",
+                "BLACKSCHOLES"
+            ]
+        );
+        let suite = all_kernels();
+        assert_eq!(suite.len(), names.len());
+        for (k, name) in suite.iter().zip(&names) {
+            assert_eq!(k.name(), *name);
+        }
+    }
+
+    #[test]
+    fn default_registry_is_independently_extensible() {
+        let mut mine = default_registry();
+        mine.register("SCALE2", |variant| {
+            let n = match variant {
+                SizeVariant::Paper => 16,
+                SizeVariant::Small => 4,
+            };
+            tp_tuner::TunableBuilder::new("SCALE2")
+                .array("x", n)
+                .run(move |cfg, set| {
+                    let f = cfg.format_of("x");
+                    (0..n)
+                        .map(|i| {
+                            let x = flexfloat::Fx::new(0.25 * (i + set) as f64, f);
+                            (x + x).value()
+                        })
+                        .collect()
+                })
+                .build()
+                .expect("valid")
+        })
+        .unwrap();
+        assert_eq!(mine.len(), 11);
+        assert!(mine.resolve("scale2:small").is_some());
+        // The shared registry is unaffected.
+        assert!(!registry().contains("SCALE2"));
+    }
+
+    #[test]
+    fn canonical_specs_normalize_case_and_variant() {
+        assert_eq!(
+            registry().canonical_spec("blackscholes").as_deref(),
+            Some("BLACKSCHOLES:paper")
+        );
+        assert_eq!(
+            registry().canonical_spec("Fft:small").as_deref(),
+            Some("FFT:small")
+        );
+        assert_eq!(registry().canonical_spec("LU"), None);
     }
 }

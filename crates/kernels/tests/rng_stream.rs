@@ -30,6 +30,14 @@ const PINNED: &[(&str, usize, [u64; 8])] = &[
     ("PCA", 1, [0x3845a68f7aa15622, 0xed1f3ae8b0c91279, 0x851ac797112a5491, 0x90f2faf48991f945, 0xc4c635bb32c0c758, 0xff881b4cf26f0e3c, 0xbce07672b5e973f7, 0xcc6ec482d73c234e]),
     ("SVM", 0, [0x42527bcac9adeac2, 0xa75c60c5d068dbd0, 0x0a570dbb7394aaac, 0xad83895394c54b79, 0xad080502d15b3ce3, 0x46559137942f35de, 0x0c98ddaa2d283cfe, 0x0d0357162d0abc0a]),
     ("SVM", 1, [0x232f4872563d4aa0, 0x187aca6a28a3043f, 0xcaecacf69ddc2a46, 0x59ba97b8c961e343, 0xd5da2f5d72b046e9, 0x9517e85c7419770d, 0x1aed9b9de1709e24, 0xb6d589d588aa4cce]),
+    ("GEMM", 0, [0xc5380d46486105ea, 0x80c89b0b346212ac, 0xab7e813c9ce9f6f1, 0x5dcfb7d33d7cd3b5, 0x7eedc1c3b9e3a527, 0x07e43ab11a592e2d, 0x756392203e9024e6, 0xc90a24ecb828ff82]),
+    ("GEMM", 1, [0xec29696fcd8c0cbb, 0x9190ad25d6b14905, 0x9fbfdbec8b5eda09, 0x19888ac485bcc55a, 0x11831eab3f66647b, 0xd0970391a1b3754b, 0x8b64a3c9daeb564a, 0x485e6629139c5910]),
+    ("FFT", 0, [0x4595c9d9b7ea5756, 0x803a440ee2a725d7, 0x960b11ef52535d49, 0x098323545ebe8406, 0x5a6106923b34e4ca, 0x68f6af914ee69a94, 0x63e37e4be4229b3b, 0x071c8096a167fa08]),
+    ("FFT", 1, [0x5a49f77b28337323, 0xf6791747c0ff949f, 0xd81daab414da5ccc, 0x16db1a5de260aa63, 0xe212669978d9f62f, 0x4bf9666b1b090169, 0x8d05d32bb9750974, 0x49f04983431369d1]),
+    ("MLP", 0, [0xba8bf3bb6a32a3b5, 0x979e708a61c56005, 0x43b6c7e8750feafc, 0x812628953a8c2373, 0x19c8e9ad941a0e66, 0x5576eda2eb8b3b1e, 0xedddf1c59fb04251, 0xb74163e90ff057d4]),
+    ("MLP", 1, [0xc8dfbf9c2928becd, 0xa9d7c2acdeec25a8, 0x98e45dccd87cedd3, 0xd4d3419595c615d8, 0xb5a02e83db14e23f, 0x982404d1ff759baf, 0xa2ea1165a3c0a477, 0xd99c89a58ebcae84]),
+    ("BLACKSCHOLES", 0, [0x543e7d736aacba05, 0xac93685c5f517b8b, 0xa5c3ac66d3adc8bf, 0x0043df05846e1bde, 0xc1d3b58e48716513, 0xe3e94985d2cc12cf, 0xc4e711edf96b0ee7, 0x7eb6b88393880c55]),
+    ("BLACKSCHOLES", 1, [0xddc948ffae349e50, 0xc9ca3908bd299b4d, 0x68482e01ab9b1e55, 0x217ccf46a3d973be, 0xcdcebc62a3fadd95, 0xec4f13600c4bbd4a, 0x0ca45971b0306d45, 0xb341c437f1e1a500]),
 ];
 
 #[test]

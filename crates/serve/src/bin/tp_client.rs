@@ -103,7 +103,8 @@ fn run() -> Result<(), String> {
             else {
                 return Err("direct expects SUBMIT-style fields".to_owned());
             };
-            let app = tp_kernels::kernel_by_name(&submit.app)
+            let app = tp_kernels::registry()
+                .resolve(&submit.app)
                 .ok_or_else(|| format!("unknown kernel {:?}", submit.app))?;
             let record = tp_bench::tuned_record(app.as_ref(), submit.search_params(0));
             println!("direct app={} threshold={:?}", submit.app, submit.threshold);

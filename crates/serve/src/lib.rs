@@ -74,7 +74,7 @@ pub mod test_util {
         let runs = Arc::new(AtomicU64::new(0));
         let counter = runs.clone();
         let resolver: KernelResolver = Arc::new(move |spec: &str| {
-            tp_kernels::kernel_by_name(spec).map(|inner| {
+            tp_kernels::registry().resolve(spec).map(|inner| {
                 Box::new(Counting {
                     inner,
                     runs: counter.clone(),

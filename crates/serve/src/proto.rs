@@ -22,7 +22,7 @@
 //! | `SUBMIT` | `SUBMIT app=<name[:variant]> threshold=<f64> [sets=N] [mode=live\|replay] [ts=V1\|V2] [passes=N] [maxp=N]` | `OK <key> <state>` / `ERR full` / `ERR draining` / `ERR <reason>` |
 //! | `STATUS` | `STATUS <key>` | `OK <state>` / `ERR unknown-key` |
 //! | `RESULT` | `RESULT <key> [wait]` | `OK cache_hit=<0\|1>\n<record JSON>` / `PENDING` / `ERR …` |
-//! | `LIST` | `LIST` | `OK n=<jobs> <stats…>` then one `<key> <state> <app> threshold=<t>` line per job |
+//! | `LIST` | `LIST` | `OK n=<jobs> <stats…>` then one `<key> <state> <app> kernel=<NAME:variant> threshold=<t>` line per job |
 //! | `SHUTDOWN` | `SHUTDOWN` | `BYE <stats…>` after a graceful drain |
 //!
 //! States are `queued`, `running`, `done`, `failed`. The record JSON is
@@ -130,7 +130,8 @@ pub enum Request {
 /// The `SUBMIT` verb's fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubmitRequest {
-    /// Kernel spelling for `tp_kernels::kernel_by_name` (`"CONV"`,
+    /// Kernel spelling the server's resolver looks up — by default the
+    /// shared kernel registry, `tp_kernels::registry()` (`"CONV"`,
     /// `"CONV:small"`, …).
     pub app: String,
     /// Quality threshold (relative RMS).

@@ -46,8 +46,13 @@ use tp_tuner::Tunable;
 use crate::proto::{parse_request, read_frame, write_frame, Request, SubmitRequest};
 
 /// Resolves a kernel spelling to a runnable [`Tunable`]. Injectable so
-/// tests can count kernel executions; defaults to
-/// [`tp_kernels::kernel_by_name`].
+/// tests can count kernel executions and deployments can serve
+/// user-defined kernels; defaults to the shared kernel registry
+/// ([`tp_kernels::registry`]). To serve custom kernels next to the
+/// built-ins, build a [`tp_tuner::Registry`] (e.g. from
+/// [`tp_kernels::default_registry`], extended with
+/// [`register`](tp_tuner::Registry::register)) and wrap its
+/// [`resolve`](tp_tuner::Registry::resolve) in an `Arc`.
 pub type KernelResolver = Arc<dyn Fn(&str) -> Option<Box<dyn Tunable>> + Send + Sync>;
 
 /// Server configuration.
@@ -75,7 +80,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             total_workers: 0,
             store: None,
-            resolver: Arc::new(tp_kernels::kernel_by_name),
+            resolver: Arc::new(|spec: &str| tp_kernels::registry().resolve(spec)),
         }
     }
 }
@@ -152,6 +157,9 @@ impl JobState {
 struct Job {
     key: JobKey,
     request: SubmitRequest,
+    /// Canonical kernel spec (`NAME:variant`, registered spelling) —
+    /// `request.app` as the client typed it, normalized at admission.
+    kernel: String,
     state: Mutex<JobState>,
     settled: Condvar,
 }
@@ -281,9 +289,18 @@ impl Core {
                 .expect("order poisoned")
                 .retain(|k| *k != key.as_u64());
         }
+        // Canonicalize the kernel spelling for `LIST`: the resolved
+        // kernel's registered name plus an explicit variant suffix, so
+        // clients see which job a lowercase/bare spec actually keyed to.
+        let variant = match request.app.split_once(':') {
+            Some((_, v)) => v,
+            None => "paper",
+        };
+        let kernel = format!("{}:{variant}", app.name());
         let job = Arc::new(Job {
             key,
             request,
+            kernel,
             state: Mutex::new(JobState::Queued),
             settled: Condvar::new(),
         });
@@ -551,10 +568,11 @@ fn respond(core: &Core, request: Request) -> String {
             for key in order {
                 if let Some(job) = jobs.get(&key) {
                     out.push_str(&format!(
-                        "\n{} {} {} threshold={:?}",
+                        "\n{} {} {} kernel={} threshold={:?}",
                         job.key.hex(),
                         job.state_name(),
                         job.request.app,
+                        job.kernel,
                         job.request.threshold,
                     ));
                 }

@@ -11,7 +11,9 @@
 //! The transprecision programming flow (paper Fig. 2) is:
 //!
 //! 1. replace FP types with per-variable [`Fx`](flexfloat::Fx) formats —
-//!    done by implementing [`Tunable`];
+//!    done by implementing [`Tunable`], or without an impl block via
+//!    [`TunableBuilder`]; programs register in a [`Registry`] so suites
+//!    and the tuning service resolve them by name;
 //! 2. run precision tuning — [`distributed_search`];
 //! 3. map variables onto supported FP types — [`storage_config`];
 //! 4. collect per-format operation statistics —
@@ -46,9 +48,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod cast_aware;
 mod metrics;
 mod pool;
+mod registry;
 mod report;
 mod search;
 mod tunable;
@@ -64,9 +68,11 @@ mod tunable;
 /// of being served stale.
 pub const TUNER_VERSION: u32 = 1;
 
+pub use builder::{BuildError, TunableBuilder};
 pub use cast_aware::{cast_aware_refine, CastAwareOutcome};
 pub use metrics::{max_relative_error, relative_rms_error, sqnr_db};
 pub use pool::{join2, parallel_map, resolve_workers};
+pub use registry::{KernelFactory, Registry, RegistryError, SizeVariant};
 pub use report::{
     classify_variables, storage_config, validated_storage_config, PrecisionHistogram,
 };

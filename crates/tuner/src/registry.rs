@@ -1,0 +1,405 @@
+//! The open kernel registry: name → [`Tunable`] factory.
+//!
+//! Before this module, the only way to resolve a kernel spelling
+//! (`"CONV:small"`) to a runnable program was a closed `match` inside
+//! `tp-kernels` — the service could only ever tune the six benchmarks it
+//! shipped with. The [`Registry`] inverts that: anyone owning a
+//! [`Registry`] value can [`register`](Registry::register) additional
+//! workloads (typically built with
+//! [`TunableBuilder`](crate::TunableBuilder)), and everything downstream —
+//! suite iteration, `tp-serve`'s SUBMIT resolution, report rows — speaks
+//! through the same lookup.
+//!
+//! Registration is **fail-fast**: empty or spec-grammar-colliding names,
+//! case-insensitive duplicates, and factories whose product disagrees with
+//! the registered name are all rejected at `register` time, not at first
+//! resolve deep inside a tuning job.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Tunable;
+
+/// The two instantiation sizes every registered kernel must provide:
+/// the paper's evaluation size and a miniature for fast tests.
+///
+/// The spec grammar spells these as the optional `:paper` / `:small`
+/// suffix of a kernel name; bare names default to [`SizeVariant::Paper`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeVariant {
+    /// Miniature instance for fast tests (`NAME:small`).
+    Small,
+    /// The paper's evaluation size (`NAME:paper`, the default).
+    Paper,
+}
+
+impl SizeVariant {
+    /// The spec-suffix spelling (`"small"` / `"paper"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SizeVariant::Small => "small",
+            SizeVariant::Paper => "paper",
+        }
+    }
+
+    /// Parses a spec suffix. Strict: only the two canonical lowercase
+    /// spellings are accepted (`"CONV:big"` must fail, not default).
+    #[must_use]
+    pub fn parse(suffix: &str) -> Option<SizeVariant> {
+        match suffix {
+            "small" => Some(SizeVariant::Small),
+            "paper" => Some(SizeVariant::Paper),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SizeVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A factory producing a kernel instance at a requested size.
+///
+/// `Arc`ed so a resolved factory can be handed to worker threads and so a
+/// [`Registry`] clone shares (not re-validates) its entries.
+pub type KernelFactory = Arc<dyn Fn(SizeVariant) -> Box<dyn Tunable> + Send + Sync>;
+
+/// Why a [`Registry::register`] call was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name was empty.
+    EmptyName,
+    /// The name contains a character the `NAME[:variant]` spec grammar
+    /// reserves (`:`) or whitespace (the wire protocol's token separator).
+    InvalidName(String),
+    /// A kernel with this name (case-insensitively) is already registered.
+    Collision(String),
+    /// The factory's product reports a different [`Tunable::name`] than
+    /// the name it was registered under.
+    NameMismatch {
+        /// The name passed to `register`.
+        registered: String,
+        /// What `factory(variant).name()` actually returned.
+        produced: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::EmptyName => write!(f, "kernel name is empty"),
+            RegistryError::InvalidName(name) => {
+                write!(f, "kernel name {name:?} contains ':' or whitespace")
+            }
+            RegistryError::Collision(name) => {
+                write!(f, "kernel {name:?} is already registered")
+            }
+            RegistryError::NameMismatch {
+                registered,
+                produced,
+            } => write!(
+                f,
+                "factory registered as {registered:?} produces a kernel named {produced:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+struct Entry {
+    name: String,
+    factory: KernelFactory,
+}
+
+/// An ordered, open mapping from kernel names to [`Tunable`] factories.
+///
+/// * **Ordered**: iteration ([`names`](Registry::names),
+///   [`suite`](Registry::suite)) follows registration order, so suite
+///   reports and fan-out budgets stay deterministic.
+/// * **Case-insensitive**: lookups fold ASCII case, matching the historic
+///   `kernel_by_name` behaviour (`"conv"` resolves to `"CONV"`).
+/// * **Open**: `tp_kernels::default_registry()` returns one pre-populated
+///   with the built-in suite; callers may keep registering their own
+///   workloads on top and hand the result to `tp-serve` via a custom
+///   `KernelResolver`.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Vec<Arc<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers `factory` under `name`, validating eagerly.
+    ///
+    /// The factory is invoked once per [`SizeVariant`] during
+    /// registration to check that its product agrees with `name`; kernel
+    /// constructors are cheap (inputs are regenerated per run, not at
+    /// construction), so this costs microseconds and catches wiring
+    /// mistakes at startup instead of at first SUBMIT.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::EmptyName`] / [`RegistryError::InvalidName`] for
+    /// names the `NAME[:variant]` grammar cannot express,
+    /// [`RegistryError::Collision`] for case-insensitive duplicates, and
+    /// [`RegistryError::NameMismatch`] when `factory(v).name() != name`.
+    pub fn register<F>(&mut self, name: &str, factory: F) -> Result<(), RegistryError>
+    where
+        F: Fn(SizeVariant) -> Box<dyn Tunable> + Send + Sync + 'static,
+    {
+        if name.is_empty() {
+            return Err(RegistryError::EmptyName);
+        }
+        if name.contains(':') || name.chars().any(char::is_whitespace) {
+            return Err(RegistryError::InvalidName(name.to_owned()));
+        }
+        if self.lookup(name).is_some() {
+            return Err(RegistryError::Collision(name.to_owned()));
+        }
+        for variant in [SizeVariant::Small, SizeVariant::Paper] {
+            let produced = factory(variant);
+            if produced.name() != name {
+                return Err(RegistryError::NameMismatch {
+                    registered: name.to_owned(),
+                    produced: produced.name().to_owned(),
+                });
+            }
+        }
+        self.entries.push(Arc::new(Entry {
+            name: name.to_owned(),
+            factory: Arc::new(factory),
+        }));
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .map(Arc::as_ref)
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Resolves a request spelling — `NAME` or `NAME:small` /
+    /// `NAME:paper` — to a kernel instance. Bare names default to the
+    /// paper size; unknown names and unknown variants return `None`.
+    #[must_use]
+    pub fn resolve(&self, spec: &str) -> Option<Box<dyn Tunable>> {
+        let (name, variant) = Registry::split_spec(spec)?;
+        Some((self.lookup(name)?.factory)(variant))
+    }
+
+    /// The canonical spelling of a resolvable spec:
+    /// registered-case name plus an explicit variant suffix
+    /// (`"conv"` → `"CONV:paper"`). `None` when `spec` does not resolve.
+    ///
+    /// `tp-serve` prints this in `LIST` lines so operators see one stable
+    /// spelling per job regardless of how the submitter spelled it.
+    #[must_use]
+    pub fn canonical_spec(&self, spec: &str) -> Option<String> {
+        let (name, variant) = Registry::split_spec(spec)?;
+        let entry = self.lookup(name)?;
+        Some(format!("{}:{variant}", entry.name))
+    }
+
+    fn split_spec(spec: &str) -> Option<(&str, SizeVariant)> {
+        match spec.split_once(':') {
+            Some((name, suffix)) => Some((name, SizeVariant::parse(suffix)?)),
+            None => Some((spec, SizeVariant::Paper)),
+        }
+    }
+
+    /// `true` when `name` (case-insensitive, without a variant suffix) is
+    /// registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.lookup(name).is_some()
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Number of registered kernels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Instantiates every registered kernel at `variant`, in registration
+    /// order — the suite the bench harness iterates.
+    #[must_use]
+    pub fn suite(&self, variant: SizeVariant) -> Vec<Box<dyn Tunable>> {
+        self.entries.iter().map(|e| (e.factory)(variant)).collect()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexfloat::{Fx, TypeConfig, VarSpec};
+
+    struct Toy {
+        name: &'static str,
+        elements: usize,
+    }
+
+    impl Tunable for Toy {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn variables(&self) -> Vec<VarSpec> {
+            vec![VarSpec::array("x", self.elements)]
+        }
+        fn run(&self, config: &TypeConfig, input_set: usize) -> Vec<f64> {
+            let fmt = config.format_of("x");
+            (0..self.elements)
+                .map(|i| {
+                    let x = Fx::new(0.5 + (i + input_set) as f64, fmt);
+                    (x * x).value()
+                })
+                .collect()
+        }
+    }
+
+    fn toy(name: &'static str) -> impl Fn(SizeVariant) -> Box<dyn Tunable> {
+        move |variant| {
+            Box::new(Toy {
+                name,
+                elements: match variant {
+                    SizeVariant::Small => 2,
+                    SizeVariant::Paper => 8,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn register_resolve_and_iterate_in_order() {
+        let mut reg = Registry::new();
+        reg.register("ALPHA", toy("ALPHA")).unwrap();
+        reg.register("BETA", toy("BETA")).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names().collect::<Vec<_>>(), ["ALPHA", "BETA"]);
+        // Bare name defaults to the paper size.
+        assert_eq!(reg.resolve("ALPHA").unwrap().variables()[0].elements, 8);
+        assert_eq!(
+            reg.resolve("ALPHA:small").unwrap().variables()[0].elements,
+            2
+        );
+        let suite = reg.suite(SizeVariant::Small);
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name(), "ALPHA");
+        assert_eq!(suite[1].name(), "BETA");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_but_variants_are_strict() {
+        let mut reg = Registry::new();
+        reg.register("ALPHA", toy("ALPHA")).unwrap();
+        assert!(reg.resolve("alpha").is_some());
+        assert!(reg.resolve("Alpha:small").is_some());
+        assert!(reg.contains("aLpHa"));
+        assert!(reg.resolve("ALPHA:big").is_none());
+        assert!(
+            reg.resolve("ALPHA:SMALL").is_none(),
+            "variants are lowercase"
+        );
+        assert!(reg.resolve("GAMMA").is_none());
+        assert!(reg.resolve("").is_none());
+    }
+
+    #[test]
+    fn collisions_fail_fast_case_insensitively() {
+        let mut reg = Registry::new();
+        reg.register("ALPHA", toy("ALPHA")).unwrap();
+        assert_eq!(
+            reg.register("alpha", toy("alpha")),
+            Err(RegistryError::Collision("alpha".to_owned()))
+        );
+        assert_eq!(reg.len(), 1, "failed registration must not insert");
+    }
+
+    #[test]
+    fn invalid_names_fail_fast() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.register("", toy("X")), Err(RegistryError::EmptyName));
+        assert!(matches!(
+            reg.register("A:B", toy("A:B")),
+            Err(RegistryError::InvalidName(_))
+        ));
+        assert!(matches!(
+            reg.register("A B", toy("A B")),
+            Err(RegistryError::InvalidName(_))
+        ));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn factory_name_mismatch_fails_fast() {
+        let mut reg = Registry::new();
+        let err = reg.register("ALPHA", toy("BETA")).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::NameMismatch {
+                registered: "ALPHA".to_owned(),
+                produced: "BETA".to_owned(),
+            }
+        );
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn canonical_spec_normalizes_case_and_variant() {
+        let mut reg = Registry::new();
+        reg.register("ALPHA", toy("ALPHA")).unwrap();
+        assert_eq!(reg.canonical_spec("alpha").as_deref(), Some("ALPHA:paper"));
+        assert_eq!(
+            reg.canonical_spec("Alpha:small").as_deref(),
+            Some("ALPHA:small")
+        );
+        assert_eq!(reg.canonical_spec("ALPHA:big"), None);
+        assert_eq!(reg.canonical_spec("GAMMA"), None);
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        for (err, needle) in [
+            (RegistryError::EmptyName, "empty"),
+            (RegistryError::InvalidName("A:B".into()), "A:B"),
+            (RegistryError::Collision("X".into()), "already"),
+            (
+                RegistryError::NameMismatch {
+                    registered: "A".into(),
+                    produced: "B".into(),
+                },
+                "produces",
+            ),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

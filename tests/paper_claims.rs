@@ -23,6 +23,22 @@ fn find<'a>(rs: &'a [AppResult], name: &str) -> &'a AppResult {
     rs.iter().find(|r| r.app == name).expect("kernel present")
 }
 
+/// The paper's Section V-A evaluation set. The registry carries four more
+/// workload families (GEMM, FFT, MLP, BLACKSCHOLES), but figure-level
+/// averages and orderings are claims about *these six* — the added
+/// kernels are covered by the backend/replay equivalence matrices and the
+/// experiment binaries instead.
+const PAPER_SIX: [&str; 6] = ["JACOBI", "KNN", "PCA", "DWT", "SVM", "CONV"];
+
+fn paper_six(rs: &[AppResult]) -> Vec<&AppResult> {
+    let six: Vec<&AppResult> = rs
+        .iter()
+        .filter(|r| PAPER_SIX.contains(&r.app.as_str()))
+        .collect();
+    assert_eq!(six.len(), PAPER_SIX.len(), "paper kernels present");
+    six
+}
+
 /// Headline: up to 90 % of FP operations scale down to 8/16-bit formats.
 #[test]
 fn ninety_percent_of_ops_scale_down() {
@@ -67,7 +83,12 @@ fn memory_reduction_shape() {
 #[test]
 fn cycle_reduction_shape() {
     let rs = suite(1e-1);
-    let avg = tp_bench::mean(&rs.iter().map(AppResult::cycle_ratio).collect::<Vec<_>>());
+    let avg = tp_bench::mean(
+        &paper_six(rs)
+            .iter()
+            .map(|r| r.cycle_ratio())
+            .collect::<Vec<_>>(),
+    );
     assert!((0.75..0.98).contains(&avg), "avg cycle ratio {avg}");
     // JACOBI performs no vector operations: cycles stay at the baseline.
     assert!((find(rs, "JACOBI").cycle_ratio() - 1.0).abs() < 0.02);
@@ -82,23 +103,24 @@ fn cycle_reduction_shape() {
 #[test]
 fn energy_ordering_matches_figure7() {
     let rs = suite(1e-1);
+    let six = paper_six(rs);
     let knn = find(rs, "KNN").energy_ratio();
     let jacobi = find(rs, "JACOBI").energy_ratio();
     let pca = find(rs, "PCA").energy_ratio();
-    let best = rs
+    let best = six
         .iter()
-        .map(AppResult::energy_ratio)
+        .map(|r| r.energy_ratio())
         .fold(f64::INFINITY, f64::min);
     assert!(
         knn <= best + 0.05,
         "KNN must be within 5 points of the best: {knn} vs {best}"
     );
-    let better_than_knn = rs.iter().filter(|r| r.energy_ratio() < knn - 1e-9).count();
+    let better_than_knn = six.iter().filter(|r| r.energy_ratio() < knn - 1e-9).count();
     assert!(better_than_knn <= 1, "KNN must rank in the top two");
     assert!((0.60..0.82).contains(&knn), "KNN {knn} (paper 70%)");
     assert!((0.88..1.0).contains(&jacobi), "JACOBI {jacobi} (paper 97%)");
     assert!(pca > 0.97, "PCA {pca} (paper >= ~100%)");
-    for r in rs {
+    for r in six {
         assert!(
             pca >= r.energy_ratio() - 1e-9,
             "PCA must be the worst: {pca} vs {} ({})",
@@ -194,7 +216,7 @@ fn cast_aware_tuning_fixes_pca() {
 fn baseline_energy_split_matches_motivation() {
     let rs = suite(1e-1);
     let mut fp_shares = Vec::new();
-    for r in rs {
+    for r in paper_six(rs) {
         let total = r.baseline.energy.total();
         fp_shares.push((r.baseline.energy.fp_component() + r.baseline.energy.memory_pj) / total);
     }
