@@ -1,0 +1,62 @@
+//! Bench-smoke trajectory snapshot: regenerates `BENCH_<pr>.json`.
+//!
+//! Runs the three-way tuning wall-clock matrix (live / sequential replay /
+//! batched replay, see `tp_bench::trajectory`) over the full kernel
+//! registry plus the paper-claims suite evaluation, prints the markdown
+//! table CI appends to the job summary, and writes the JSON snapshot.
+//!
+//! The decision-identity assertions live *inside* the measurement
+//! (`measure_kernel` panics on any format / evaluation-count / replay-
+//! summary drift between the modes), so a run that completes is itself
+//! the proof that batching changed no decision — CI fails otherwise.
+//!
+//! Usage: `exp_bench_trajectory [--pr N] [--out PATH]`
+//! (defaults: `--pr 7`, `--out BENCH_<pr>.json` in the current directory).
+
+use tp_bench::trajectory::{
+    markdown_table, measure_suite, paper_claims, straight_line_mean, to_json, BATCHED_TARGET,
+};
+
+/// Parses `--flag value` out of the raw argument list; panics on a flag
+/// with no value (fail fast, same contract as the env knobs).
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pr: u32 = arg_value(&args, "--pr").map_or(7, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--pr {v:?} is not a PR number"))
+    });
+    let out = arg_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
+
+    let threshold = 1e-3;
+    let claims_threshold = 1e-1;
+    println!("bench trajectory (PR {pr}): live vs replay vs batched tuning wall-clock");
+    println!("config: {}", tp_bench::env::config());
+    println!();
+
+    let rows = measure_suite(threshold);
+    print!("{}", markdown_table(&rows));
+    println!();
+
+    let mean = straight_line_mean(&rows);
+    println!(
+        "straight-line mean batched/live: {mean:.2}x (target <= {BATCHED_TARGET}x) — {}",
+        if mean <= BATCHED_TARGET {
+            "OK"
+        } else {
+            "WARNING: above target"
+        }
+    );
+
+    let claims = paper_claims(claims_threshold);
+    let json = to_json(pr, threshold, &rows, claims_threshold, &claims);
+    std::fs::write(&out, json.as_bytes()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -1,95 +1,56 @@
-//! E11 (extension) — live-vs-replay tuning wall-clock.
+//! E11 (extension) — live-vs-replay-vs-batched tuning wall-clock.
 //!
 //! Measures the point of the `tp-trace` subsystem: tuning cost in
-//! [`TunerMode::Replay`] (record each input set's op stream once, evaluate
-//! every candidate as a linear tape pass, fall back to live execution on
-//! divergence) versus [`TunerMode::Live`] (re-run the kernel per
-//! candidate). Chosen formats are asserted bit-identical between the modes
-//! — the speedup is free of decision drift by construction — and the
-//! per-kernel divergence-fallback rate is reported alongside.
+//! [`TunerMode::Replay`](tp_tuner::TunerMode) (record each input set's op
+//! stream once, evaluate every candidate as a linear tape pass, fall back
+//! to live execution on divergence) versus `TunerMode::Live` (re-run the
+//! kernel per candidate) — and, since PR 7, the batched
+//! structure-of-arrays interpreter (`Trace::replay_batch` /
+//! `Trace::replay_candidates`) versus both. Chosen formats, evaluation
+//! counts and replay summaries are asserted bit-identical across all
+//! three inside `measure_kernel` — the speedup is free of decision drift
+//! by construction — and the per-kernel divergence-fallback rate is
+//! reported alongside.
 //!
 //! Straight-line kernels (CONV, DWT, JACOBI, GEMM, FFT, MLP — zero
 //! recorded comparisons) never diverge, so every candidate is served from
 //! the tape; KNN, PCA and BLACKSCHOLES branch on data (distance
 //! selection, pivoting, the CDF sign test), so some candidates fall back.
+//!
+//! For the committed per-PR snapshot of these numbers, see
+//! `exp_bench_trajectory` (same measurement, JSON output).
 
-use std::time::Instant;
-
-use tp_kernels::all_kernels;
-use tp_tuner::{distributed_search, SearchParams, TunerMode, TuningOutcome};
-
-/// Straight-line kernels the replay path must visibly accelerate
-/// (acceptance: replay ≤ 0.7× live wall-clock).
-const STRAIGHT_LINE: [&str; 6] = ["CONV", "DWT", "JACOBI", "GEMM", "FFT", "MLP"];
-
-/// Best-of-two timing: the second run is measured against a warm cache and
-/// the minimum suppresses scheduler noise — both runs produce identical
-/// outcomes (the search is deterministic), so taking the min is sound.
-fn tune(app: &dyn tp_tuner::Tunable, mode: TunerMode, threshold: f64) -> (TuningOutcome, f64) {
-    let mut best = f64::INFINITY;
-    let mut outcome = None;
-    for _ in 0..2 {
-        let start = Instant::now();
-        outcome = Some(distributed_search(
-            app,
-            SearchParams::paper(threshold).with_mode(mode),
-        ));
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    (outcome.expect("ran at least once"), best)
-}
+use tp_bench::trajectory::{markdown_table, measure_suite, straight_line_mean, BATCHED_TARGET};
 
 fn main() {
     let threshold = 1e-3;
-    println!("E11: tuning wall-clock, TunerMode::Live vs TunerMode::Replay");
+    println!("E11: tuning wall-clock, live vs replay vs batched replay");
     println!(
         "threshold {threshold:e}, workers {}, paper-size kernels",
         tp_bench::effective_workers()
     );
     println!();
-    println!("| kernel | live ms | replay ms | replay/live | replayed | diverged | fallback |");
-    println!("|---|---|---|---|---|---|---|");
 
-    let mut straight_line_ok = true;
-    for app in all_kernels() {
-        let app = app.as_ref();
-        let (live, live_ms) = tune(app, TunerMode::Live, threshold);
-        let (replay, replay_ms) = tune(app, TunerMode::Replay, threshold);
-
-        // The replay contract: bit-identical chosen formats, and since a
-        // non-divergent replay serves the very verdict the live run would
-        // have, even the evaluation counter matches.
-        for (a, b) in live.vars.iter().zip(&replay.vars) {
-            assert_eq!(
-                (a.precision_bits, a.needs_wide_range),
-                (b.precision_bits, b.needs_wide_range),
-                "{}/{}: replay changed a chosen format",
-                live.app,
-                a.spec.name
-            );
-        }
-        assert_eq!(live.evaluations, replay.evaluations, "{}", live.app);
-
-        let ratio = replay_ms / live_ms;
-        let r = replay.replay;
-        println!(
-            "| {} | {live_ms:.1} | {replay_ms:.1} | {ratio:.2}x | {} | {} | {:.1}% |",
-            live.app,
-            r.replayed,
-            r.diverged,
-            r.fallback_rate() * 100.0
-        );
-        if STRAIGHT_LINE.contains(&live.app.as_str()) && ratio > 0.7 {
-            straight_line_ok = false;
-        }
-    }
-
+    let rows = measure_suite(threshold);
+    print!("{}", markdown_table(&rows));
     println!();
-    if straight_line_ok {
-        println!("straight-line kernels (CONV/DWT/JACOBI/GEMM/FFT/MLP): replay <= 0.7x live — OK");
+
+    // Sequential replay keeps its original acceptance line; the batched
+    // interpreter must beat it. Both are informational on noisy shared
+    // runners — the table above tells the real story.
+    let sequential_ok = rows
+        .iter()
+        .filter(|r| r.is_straight_line())
+        .all(|r| r.replay_ratio() <= 0.7);
+    if sequential_ok {
+        println!("straight-line kernels: sequential replay <= 0.7x live — OK");
     } else {
-        // Informational on noisy shared runners; the ratio above tells the
-        // real story.
-        println!("WARNING: a straight-line kernel exceeded 0.7x live wall-clock");
+        println!("WARNING: a straight-line kernel exceeded 0.7x live (sequential replay)");
+    }
+    let mean = straight_line_mean(&rows);
+    if mean <= BATCHED_TARGET {
+        println!("straight-line mean batched/live {mean:.2}x <= {BATCHED_TARGET}x — OK");
+    } else {
+        println!("WARNING: straight-line mean batched/live {mean:.2}x above {BATCHED_TARGET}x");
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod env;
 mod jsonout;
+pub mod trajectory;
 
 use std::sync::Arc;
 

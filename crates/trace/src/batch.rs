@@ -1,0 +1,738 @@
+//! Batched structure-of-arrays replay.
+//!
+//! The raw interpreter in [`crate::replay`] pays the tape walk — decode,
+//! dispatch, table reads — once per (input set × candidate). This module
+//! amortizes it two ways:
+//!
+//! * [`Trace::replay_batch`]: all input sets of a kernel in **one pass**
+//!   over a shared decoded tape. Traces of the same kernel on different
+//!   inputs are structurally identical (same ops, slots, names — only
+//!   pool payloads and recorded branch outcomes differ; checked in O(1)
+//!   via [`Trace::same_shape`]), so the per-op decode/dispatch/table cost
+//!   is paid once and the arithmetic becomes column-wise loops over
+//!   `vals[id * lanes + lane]`. Divergence is **per lane**: a set whose
+//!   recorded comparison flips drops out of the batch (its result is
+//!   [`Replayed::Divergent`]); the remaining lanes keep going, and the
+//!   pass ends early when no lane is alive.
+//! * [`Trace::replay_candidates`]: several candidate configurations in
+//!   one call. The format-slot tables are resolved up front and diffed;
+//!   every tape entry before the first reference to a *differing* slot
+//!   computes bit-identically under every candidate (all slots it can
+//!   touch resolve equally, so every promotion/cast table cell it
+//!   consults is equal), so that prefix runs once and its value columns
+//!   are shared; per-candidate execution forks at the first difference.
+//!
+//! Both entries fall back to per-trace [`Trace::replay`] whenever the
+//! thread is observed (a recorder or installed backend must see every
+//! event in recorded order) or shapes don't match — callers never need
+//! to pre-check.
+
+use flexfloat::backend::Emulated;
+use flexfloat::{BinOp, Engine, FpBackend, Recorder, TypeConfig};
+
+use crate::replay::{promoted, take_buf, with_scratch, Replayed, Scratch, Tables};
+use crate::tape::{OutputPlan, Packed, Tag, Trace};
+
+impl Trace {
+    /// Replays every trace in `traces` under `config` in one pass over the
+    /// shared decoded tape, returning one [`Replayed`] per trace, in
+    /// order. Each result is bit-identical to `traces[i].replay(config)` —
+    /// including the divergence site when a lane's recorded comparison
+    /// flips. Traces must be recordings of the same kernel over different
+    /// input sets to batch; anything else (and any observed thread)
+    /// transparently falls back to sequential replay.
+    #[must_use]
+    pub fn replay_batch(traces: &[&Trace], config: &TypeConfig) -> Vec<Replayed> {
+        let [leader, rest @ ..] = traces else {
+            return Vec::new();
+        };
+        let observed = Recorder::is_enabled() || Engine::is_active();
+        if rest.is_empty() || observed || !rest.iter().all(|t| leader.same_shape(t)) {
+            return traces.iter().map(|t| t.replay(config)).collect();
+        }
+        with_scratch(|scratch| {
+            let result = batch_raw(traces, config, scratch);
+            scratch.retire_arrays();
+            result
+        })
+    }
+
+    /// Replays `self` under every configuration in `configs` in one call,
+    /// returning one [`Replayed`] per configuration, in order. The shared
+    /// tape prefix — every entry before the first reference to a format
+    /// slot on which the configurations disagree — is executed once; the
+    /// interpreter forks per candidate only for the suffix. Each result is
+    /// bit-identical to `self.replay(configs[i])`.
+    #[must_use]
+    pub fn replay_candidates(&self, configs: &[&TypeConfig]) -> Vec<Replayed> {
+        let [_, rest @ ..] = configs else {
+            return Vec::new();
+        };
+        if rest.is_empty() || Recorder::is_enabled() || Engine::is_active() {
+            return configs.iter().map(|cfg| self.replay(cfg)).collect();
+        }
+
+        let mut tables: Vec<Tables> = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let mut t = Tables::default();
+            t.rebuild(self, cfg);
+            tables.push(t);
+        }
+
+        // A slot "differs" when any candidate resolves it to another
+        // format than candidate 0 does.
+        let n = tables[0].n();
+        let differs: Vec<bool> = (0..n)
+            .map(|s| {
+                let f0 = tables[0].fmts[s];
+                tables[1..].iter().any(|t| t.fmts[s] != f0)
+            })
+            .collect();
+
+        // The prefix ends at the first entry that *introduces* a value or
+        // array under a differing slot. Inductively every slot reachable
+        // inside the prefix is non-differing, so every promotion/cast cell
+        // the prefix consults is equal across candidates and its value
+        // columns are bit-identical — safe to share.
+        let prefix_end = self
+            .raw_ops
+            .iter()
+            .position(|p| {
+                let introduces_slot = matches!(
+                    p.tag,
+                    Tag::Leaf
+                        | Tag::ArrayNew
+                        | Tag::ArrayZeros
+                        | Tag::Cast
+                        | Tag::AddCast
+                        | Tag::SubCast
+                        | Tag::MulCast
+                        | Tag::DivCast
+                );
+                introduces_slot && differs[usize::from(p.fmt)]
+            })
+            .unwrap_or(self.raw_ops.len());
+
+        let mut shared = CandState::new(self);
+        if let Some(at) = run_range(self, &tables[0], &mut shared, 0, prefix_end) {
+            // The prefix consults only equal table cells, so a prefix
+            // divergence is every candidate's divergence.
+            return vec![Replayed::Divergent { at }; configs.len()];
+        }
+
+        let last = configs.len() - 1;
+        (0..configs.len())
+            .map(|k| {
+                // The last candidate takes the shared prefix by move.
+                let mut st = if k == last {
+                    std::mem::take(&mut shared)
+                } else {
+                    shared.clone()
+                };
+                match run_range(self, &tables[k], &mut st, prefix_end, self.raw_ops.len()) {
+                    Some(at) => Replayed::Divergent { at },
+                    None => Replayed::Output(match self.plan {
+                        OutputPlan::FromExtracts => st.out,
+                        OutputPlan::Verbatim => self.outputs.clone(),
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+/// The per-candidate interpreter state of [`Trace::replay_candidates`]:
+/// cloned at the fork point, so it owns plain buffers rather than
+/// borrowing the recycled scratch.
+#[derive(Clone, Default)]
+struct CandState {
+    vals: Vec<f64>,
+    vslot: Vec<u16>,
+    arrays: Vec<(u16, Vec<f64>)>,
+    out: Vec<f64>,
+    cmp_seq: usize,
+}
+
+impl CandState {
+    fn new(trace: &Trace) -> Self {
+        let mut st = CandState::default();
+        st.vals.reserve(trace.n_values as usize + 1);
+        st.vslot.reserve(trace.n_values as usize + 1);
+        st.vals.push(0.0);
+        st.vslot.push(0);
+        st.arrays.push((0, Vec::new()));
+        st.out.reserve(trace.outputs.len());
+        st
+    }
+}
+
+/// Runs raw entries `[start, end)` of `trace` against `tables`, mutating
+/// `st` in place. Returns the full-tape divergence site if a recorded
+/// comparison flips. Mirrors `Trace::replay_raw_in` operation for
+/// operation (the equivalence tests in `tests/replay_equivalence.rs` and
+/// `batch::tests` pin the pair).
+#[allow(clippy::too_many_lines)]
+fn run_range(
+    trace: &Trace,
+    tables: &Tables,
+    st: &mut CandState,
+    start: usize,
+    end: usize,
+) -> Option<usize> {
+    let CandState {
+        vals,
+        vslot,
+        arrays,
+        out,
+        cmp_seq,
+    } = st;
+    for p in &trace.raw_ops[start..end] {
+        let Packed { tag, fmt, a, b } = *p;
+        match tag {
+            Tag::Leaf => {
+                vals.push(tables.fmt(fmt).sanitize_f64(trace.pool[a as usize]));
+                vslot.push(fmt);
+            }
+            Tag::ArrayNew => {
+                let f = tables.fmt(fmt);
+                let raw = &trace.pool[a as usize..a as usize + b as usize];
+                arrays.push((fmt, raw.iter().map(|&x| f.sanitize_f64(x)).collect()));
+            }
+            Tag::ArrayZeros => {
+                arrays.push((fmt, vec![0.0; a as usize]));
+            }
+            Tag::ArrayDup => {
+                let dup = arrays[usize::from(fmt)].clone();
+                arrays.push(dup);
+            }
+            Tag::Load => {
+                let (slot, ref data) = arrays[usize::from(fmt)];
+                vals.push(data[a as usize]);
+                vslot.push(slot);
+            }
+            Tag::Store => {
+                let (v, sv) = (vals[b as usize], vslot[b as usize]);
+                let (slot, ref mut data) = arrays[usize::from(fmt)];
+                let cs = tables.cast(slot, sv);
+                data[a as usize] = if cs.exact { v } else { cs.fmt.sanitize_f64(v) };
+            }
+            Tag::Cast => {
+                let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                let cs = tables.cast(fmt, sv);
+                vals.push(if cs.exact { v } else { cs.fmt.sanitize_f64(v) });
+                vslot.push(fmt);
+            }
+            Tag::Add | Tag::Sub | Tag::Mul | Tag::Div => {
+                let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                let op = match tag {
+                    Tag::Add => BinOp::Add,
+                    Tag::Sub => BinOp::Sub,
+                    Tag::Mul => BinOp::Mul,
+                    _ => BinOp::Div,
+                };
+                vals.push(Emulated.bin_op(e.fmt, op, va, vb));
+                vslot.push(e.result);
+            }
+            Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast => {
+                let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                let op = match tag {
+                    Tag::AddCast => BinOp::Add,
+                    Tag::SubCast => BinOp::Sub,
+                    Tag::MulCast => BinOp::Mul,
+                    _ => BinOp::Div,
+                };
+                let raw = Emulated.bin_op(e.fmt, op, va, vb);
+                vals.push(raw);
+                vslot.push(e.result);
+                let cs = tables.cast(fmt, e.result);
+                vals.push(if cs.exact {
+                    raw
+                } else {
+                    cs.fmt.sanitize_f64(raw)
+                });
+                vslot.push(fmt);
+            }
+            Tag::Sqrt => {
+                let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                vals.push(Emulated.sqrt(tables.fmt(sv), v));
+                vslot.push(sv);
+            }
+            Tag::Min | Tag::Max => {
+                let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                let val = if tag == Tag::Min {
+                    Emulated.min(e.fmt, va, vb)
+                } else {
+                    Emulated.max(e.fmt, va, vb)
+                };
+                vals.push(val);
+                vslot.push(e.result);
+            }
+            Tag::Neg => {
+                vals.push(-vals[a as usize]);
+                vslot.push(vslot[a as usize]);
+            }
+            Tag::Abs => {
+                vals.push(vals[a as usize].abs());
+                vslot.push(vslot[a as usize]);
+            }
+            Tag::CmpLt | Tag::CmpLe => {
+                let (va, vb, _) = promoted(tables, vals, vslot, a, b);
+                let got = if tag == Tag::CmpLe { va <= vb } else { va < vb };
+                let seq = *cmp_seq;
+                *cmp_seq += 1;
+                if got != (fmt != 0) {
+                    return Some(trace.cmp_sites[seq] as usize);
+                }
+            }
+            Tag::Extract => out.push(vals[a as usize]),
+            Tag::ExtractArray => out.extend_from_slice(&arrays[usize::from(fmt)].1),
+            Tag::ExtractElement => out.push(arrays[usize::from(fmt)].1[a as usize]),
+            Tag::IntOps | Tag::VectorEnter | Tag::VectorExit => {}
+        }
+    }
+    None
+}
+
+/// The structure-of-arrays interpreter: one pass over `traces[0]`'s raw
+/// tape, values laid out as `vals[id * lanes + lane]` and arrays as
+/// `data[idx * lanes + lane]`. Per-op decode, dispatch and table reads
+/// happen once; only the arithmetic is per-lane. Lanes that diverge are
+/// marked dead and skipped at comparisons (elsewhere they compute
+/// harmlessly — f64 arithmetic cannot fault); the pass stops early when
+/// every lane is dead.
+#[allow(clippy::too_many_lines)]
+fn batch_raw(traces: &[&Trace], config: &TypeConfig, scratch: &mut Scratch) -> Vec<Replayed> {
+    let lanes = traces.len();
+    let leader = traces[0];
+    let Scratch {
+        vals,
+        vslot,
+        arrays,
+        spare,
+        spare_bytes,
+        tables,
+    } = scratch;
+    tables.rebuild(leader, config);
+
+    vals.clear();
+    vslot.clear();
+    vals.reserve((leader.n_values as usize + 1) * lanes);
+    vslot.reserve(leader.n_values as usize + 1);
+    vals.resize(lanes, 0.0);
+    vslot.push(0);
+    arrays.push((0, take_buf(spare, spare_bytes)));
+
+    let mut outs: Vec<Vec<f64>> = traces
+        .iter()
+        .map(|t| Vec::with_capacity(t.outputs.len()))
+        .collect();
+    let mut results: Vec<Option<Replayed>> = vec![None; lanes];
+    let mut alive: Vec<bool> = vec![true; lanes];
+    let mut alive_count = lanes;
+    let mut cmp_seq = 0usize;
+
+    'tape: for p in &leader.raw_ops {
+        let Packed { tag, fmt, a, b } = *p;
+        match tag {
+            Tag::Leaf => {
+                let f = tables.fmt(fmt);
+                vals.extend(traces.iter().map(|t| f.sanitize_f64(t.pool[a as usize])));
+                vslot.push(fmt);
+            }
+            Tag::ArrayNew => {
+                let f = tables.fmt(fmt);
+                let mut data = take_buf(spare, spare_bytes);
+                data.clear();
+                data.reserve(b as usize * lanes);
+                for idx in 0..b as usize {
+                    data.extend(
+                        traces
+                            .iter()
+                            .map(|t| f.sanitize_f64(t.pool[a as usize + idx])),
+                    );
+                }
+                arrays.push((fmt, data));
+            }
+            Tag::ArrayZeros => {
+                let mut data = take_buf(spare, spare_bytes);
+                data.clear();
+                data.resize(a as usize * lanes, 0.0);
+                arrays.push((fmt, data));
+            }
+            Tag::ArrayDup => {
+                let (slot, ref src) = arrays[usize::from(fmt)];
+                let mut data = take_buf(spare, spare_bytes);
+                data.clear();
+                data.extend_from_slice(src);
+                arrays.push((slot, data));
+            }
+            Tag::Load => {
+                let (slot, ref data) = arrays[usize::from(fmt)];
+                let base = a as usize * lanes;
+                vals.extend_from_slice(&data[base..base + lanes]);
+                vslot.push(slot);
+            }
+            Tag::Store => {
+                let sv = vslot[b as usize];
+                let vbase = b as usize * lanes;
+                let (slot, ref mut data) = arrays[usize::from(fmt)];
+                let cs = tables.cast(slot, sv);
+                let abase = a as usize * lanes;
+                if cs.exact {
+                    data[abase..abase + lanes].copy_from_slice(&vals[vbase..vbase + lanes]);
+                } else {
+                    for l in 0..lanes {
+                        data[abase + l] = cs.fmt.sanitize_f64(vals[vbase + l]);
+                    }
+                }
+            }
+            Tag::Cast => {
+                let sv = vslot[a as usize];
+                let base = a as usize * lanes;
+                let cs = tables.cast(fmt, sv);
+                if cs.exact {
+                    vals.extend_from_within(base..base + lanes);
+                } else {
+                    for l in 0..lanes {
+                        let v = cs.fmt.sanitize_f64(vals[base + l]);
+                        vals.push(v);
+                    }
+                }
+                vslot.push(fmt);
+            }
+            Tag::Add
+            | Tag::Sub
+            | Tag::Mul
+            | Tag::Div
+            | Tag::AddCast
+            | Tag::SubCast
+            | Tag::MulCast
+            | Tag::DivCast => {
+                let e = tables.promo(vslot[a as usize], vslot[b as usize]);
+                let op = match tag {
+                    Tag::Add | Tag::AddCast => BinOp::Add,
+                    Tag::Sub | Tag::SubCast => BinOp::Sub,
+                    Tag::Mul | Tag::MulCast => BinOp::Mul,
+                    _ => BinOp::Div,
+                };
+                let (abase, bbase) = (a as usize * lanes, b as usize * lanes);
+                for l in 0..lanes {
+                    let mut va = vals[abase + l];
+                    let mut vb = vals[bbase + l];
+                    if e.san_a {
+                        va = e.fmt.sanitize_f64(va);
+                    }
+                    if e.san_b {
+                        vb = e.fmt.sanitize_f64(vb);
+                    }
+                    vals.push(Emulated.bin_op(e.fmt, op, va, vb));
+                }
+                vslot.push(e.result);
+                let fused = matches!(
+                    tag,
+                    Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast
+                );
+                if fused {
+                    // Second value of the fused entry: the bin results we
+                    // just pushed, re-rounded through the interned
+                    // (result-slot, dst-slot) cast cell.
+                    let rbase = vals.len() - lanes;
+                    let cs = tables.cast(fmt, e.result);
+                    if cs.exact {
+                        vals.extend_from_within(rbase..rbase + lanes);
+                    } else {
+                        for l in 0..lanes {
+                            let v = cs.fmt.sanitize_f64(vals[rbase + l]);
+                            vals.push(v);
+                        }
+                    }
+                    vslot.push(fmt);
+                }
+            }
+            Tag::Sqrt => {
+                let sv = vslot[a as usize];
+                let f = tables.fmt(sv);
+                let base = a as usize * lanes;
+                for l in 0..lanes {
+                    let v = Emulated.sqrt(f, vals[base + l]);
+                    vals.push(v);
+                }
+                vslot.push(sv);
+            }
+            Tag::Min | Tag::Max => {
+                let e = tables.promo(vslot[a as usize], vslot[b as usize]);
+                let (abase, bbase) = (a as usize * lanes, b as usize * lanes);
+                for l in 0..lanes {
+                    let mut va = vals[abase + l];
+                    let mut vb = vals[bbase + l];
+                    if e.san_a {
+                        va = e.fmt.sanitize_f64(va);
+                    }
+                    if e.san_b {
+                        vb = e.fmt.sanitize_f64(vb);
+                    }
+                    vals.push(if tag == Tag::Min {
+                        Emulated.min(e.fmt, va, vb)
+                    } else {
+                        Emulated.max(e.fmt, va, vb)
+                    });
+                }
+                vslot.push(e.result);
+            }
+            Tag::Neg => {
+                let base = a as usize * lanes;
+                for l in 0..lanes {
+                    let v = -vals[base + l];
+                    vals.push(v);
+                }
+                vslot.push(vslot[a as usize]);
+            }
+            Tag::Abs => {
+                let base = a as usize * lanes;
+                for l in 0..lanes {
+                    let v = vals[base + l].abs();
+                    vals.push(v);
+                }
+                vslot.push(vslot[a as usize]);
+            }
+            Tag::CmpLt | Tag::CmpLe => {
+                let e = tables.promo(vslot[a as usize], vslot[b as usize]);
+                let (abase, bbase) = (a as usize * lanes, b as usize * lanes);
+                let seq = cmp_seq;
+                cmp_seq += 1;
+                for (l, trace) in traces.iter().enumerate() {
+                    if !alive[l] {
+                        continue;
+                    }
+                    let mut va = vals[abase + l];
+                    let mut vb = vals[bbase + l];
+                    if e.san_a {
+                        va = e.fmt.sanitize_f64(va);
+                    }
+                    if e.san_b {
+                        vb = e.fmt.sanitize_f64(vb);
+                    }
+                    let got = if tag == Tag::CmpLe { va <= vb } else { va < vb };
+                    // Each lane checks against its *own* recorded outcome
+                    // — branch decisions are input-data-dependent even on
+                    // a shared tape shape.
+                    let expected = trace_cmp_outcome(trace, seq);
+                    if got != expected {
+                        results[l] = Some(Replayed::Divergent {
+                            at: trace.cmp_sites[seq] as usize,
+                        });
+                        alive[l] = false;
+                        alive_count -= 1;
+                    }
+                }
+                if alive_count == 0 {
+                    break 'tape;
+                }
+            }
+            Tag::Extract => {
+                let base = a as usize * lanes;
+                for (l, o) in outs.iter_mut().enumerate() {
+                    o.push(vals[base + l]);
+                }
+            }
+            Tag::ExtractArray => {
+                let (_, ref data) = arrays[usize::from(fmt)];
+                let len = data.len() / lanes;
+                for (l, o) in outs.iter_mut().enumerate() {
+                    o.extend((0..len).map(|idx| data[idx * lanes + l]));
+                }
+            }
+            Tag::ExtractElement => {
+                let (_, ref data) = arrays[usize::from(fmt)];
+                let base = a as usize * lanes;
+                for (l, o) in outs.iter_mut().enumerate() {
+                    o.push(data[base + l]);
+                }
+            }
+            Tag::IntOps | Tag::VectorEnter | Tag::VectorExit => {}
+        }
+    }
+
+    results
+        .into_iter()
+        .zip(outs)
+        .zip(traces)
+        .map(|((r, out), trace)| match r {
+            Some(divergent) => divergent,
+            None => Replayed::Output(match trace.plan {
+                OutputPlan::FromExtracts => out,
+                OutputPlan::Verbatim => trace.outputs.clone(),
+            }),
+        })
+        .collect()
+}
+
+/// The `seq`-th recorded comparison outcome of `trace` (the `fmt` field of
+/// its raw `Cmp` entry at the full-tape site).
+#[inline]
+fn trace_cmp_outcome(trace: &Trace, seq: usize) -> bool {
+    trace.ops[trace.cmp_sites[seq] as usize].fmt != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexfloat::{Fx, FxArray, VarSpec};
+    use tp_formats::{BINARY16, BINARY32, BINARY8};
+
+    /// A small straight-line kernel parameterized by its input data.
+    fn taped(xs: [f64; 4], w: f64) -> Trace {
+        let vars = vec![
+            VarSpec::array("x", 4),
+            VarSpec::scalar("w"),
+            VarSpec::array("out", 4),
+        ];
+        Trace::record(&vars, move |cfg| {
+            let x = FxArray::from_f64s(cfg.format_of("x"), &xs);
+            let wv = Fx::new(w, cfg.format_of("w"));
+            let mut out = FxArray::zeros(cfg.format_of("out"), 4);
+            let mut acc = Fx::new(0.0, cfg.format_of("w"));
+            for i in 0..4 {
+                let t = (x.get(i) * wv).to(cfg.format_of("out"));
+                out.set(i, t);
+                acc = acc + x.get(i);
+            }
+            let mut o = out.to_f64s();
+            o.push(acc.sqrt().abs().value());
+            o
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_bit_for_bit() {
+        let traces = [
+            taped([1.5, 2.0, -0.75, 3.25], 0.3),
+            taped([0.1, -0.2, 0.4, 8.0], 1.7),
+            taped([9.0, 0.5, 0.25, -4.5], -0.9),
+        ];
+        let refs: Vec<&Trace> = traces.iter().collect();
+        for cfg in [
+            TypeConfig::baseline(),
+            TypeConfig::baseline()
+                .with("x", BINARY8)
+                .with("w", BINARY16),
+            TypeConfig::baseline()
+                .with("x", BINARY16)
+                .with("out", BINARY8),
+        ] {
+            let batched = Trace::replay_batch(&refs, &cfg);
+            for (t, b) in traces.iter().zip(&batched) {
+                assert_eq!(t.replay(&cfg), *b, "{cfg}");
+            }
+        }
+    }
+
+    /// One lane diverges, the others complete: per-lane outcomes (and the
+    /// divergence site) must match per-trace sequential replay.
+    #[test]
+    fn per_lane_divergence_matches_sequential() {
+        let branchy = |x0: f64| {
+            let vars = vec![VarSpec::array("x", 2)];
+            Trace::record(&vars, move |cfg| {
+                let x = FxArray::from_f64s(cfg.format_of("x"), &[x0, 1.0 + 4.0 / 1024.0]);
+                let (a, b) = (x.get(0), x.get(1));
+                let picked = if a.lt(b) { a + b } else { a * b };
+                vec![picked.value()]
+            })
+            .unwrap()
+        };
+        // All lanes record the same branch (tape shapes must match to
+        // batch); lane 1 sits right below the threshold and flips at
+        // binary8, lanes 0 and 2 are comfortably below at any precision.
+        let traces = [branchy(0.5), branchy(1.0 + 3.0 / 1024.0), branchy(0.25)];
+        let refs: Vec<&Trace> = traces.iter().collect();
+        assert!(refs[1..].iter().all(|t| refs[0].same_shape(t)));
+
+        let coarse = TypeConfig::baseline().with("x", BINARY8);
+        let batched = Trace::replay_batch(&refs, &coarse);
+        let sequential: Vec<Replayed> = traces.iter().map(|t| t.replay(&coarse)).collect();
+        assert_eq!(batched, sequential);
+        assert!(matches!(batched[1], Replayed::Divergent { .. }));
+        assert!(matches!(batched[0], Replayed::Output(_)));
+        assert!(matches!(batched[2], Replayed::Output(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_falls_back_to_sequential() {
+        let a = taped([1.5, 2.0, -0.75, 3.25], 0.3);
+        let vars = vec![VarSpec::scalar("w")];
+        let b = Trace::record(&vars, |cfg| {
+            let w = Fx::new(0.25, cfg.format_of("w"));
+            vec![(w * w).value()]
+        })
+        .unwrap();
+        assert!(!a.same_shape(&b));
+        let cfg = TypeConfig::baseline().with("w", BINARY16);
+        let batched = Trace::replay_batch(&[&a, &b], &cfg);
+        assert_eq!(batched[0], a.replay(&cfg));
+        assert_eq!(batched[1], b.replay(&cfg));
+    }
+
+    #[test]
+    fn candidates_match_sequential_bit_for_bit() {
+        let trace = taped([1.5, 2.0, -0.75, 3.25], 0.3);
+        let cfgs = [
+            TypeConfig::baseline(),
+            TypeConfig::baseline().with("x", BINARY8),
+            TypeConfig::baseline()
+                .with("x", BINARY16)
+                .with("w", BINARY8),
+            TypeConfig::baseline().with("out", BINARY8),
+        ];
+        let refs: Vec<&TypeConfig> = cfgs.iter().collect();
+        let multi = trace.replay_candidates(&refs);
+        for (cfg, got) in cfgs.iter().zip(&multi) {
+            assert_eq!(trace.replay(cfg), *got, "{cfg}");
+        }
+        // Identical configs share the whole tape as prefix.
+        let same = trace.replay_candidates(&[&cfgs[0], &cfgs[0]]);
+        assert_eq!(same[0], same[1]);
+        assert_eq!(same[0], trace.replay(&cfgs[0]));
+    }
+
+    #[test]
+    fn candidates_report_divergence_like_sequential() {
+        let vars = vec![VarSpec::scalar("x")];
+        let trace = Trace::record(&vars, |cfg| {
+            let x = Fx::new(1.0 + 3.0 / 1024.0, cfg.format_of("x"));
+            let limit = Fx::new(1.0 + 4.0 / 1024.0, cfg.format_of("x"));
+            let picked = if x.lt(limit) { x + x } else { x * x };
+            vec![picked.value()]
+        })
+        .unwrap();
+        let fine = TypeConfig::baseline().with("x", BINARY16);
+        let coarse = TypeConfig::baseline().with("x", BINARY8);
+        let got = trace.replay_candidates(&[&fine, &coarse]);
+        assert_eq!(got[0], trace.replay(&fine));
+        assert_eq!(got[1], trace.replay(&coarse));
+        assert!(matches!(got[1], Replayed::Divergent { .. }));
+        assert_eq!(
+            got[0],
+            Replayed::Output(vec![match trace.replay(&fine) {
+                Replayed::Output(ref o) => o[0],
+                Replayed::Divergent { .. } => unreachable!(),
+            }])
+        );
+    }
+
+    #[test]
+    fn observed_thread_falls_back_per_trace() {
+        let traces = [
+            taped([1.5, 2.0, -0.75, 3.25], 0.3),
+            taped([0.1, -0.2, 0.4, 8.0], 1.7),
+        ];
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let cfg = TypeConfig::baseline().with("x", BINARY32);
+        let (batched, counts) = Recorder::scoped(|| Trace::replay_batch(&refs, &cfg));
+        let (sequential, seq_counts) =
+            Recorder::scoped(|| refs.iter().map(|t| t.replay(&cfg)).collect::<Vec<_>>());
+        assert_eq!(batched, sequential);
+        assert_eq!(counts, seq_counts, "observed batch must record like live");
+    }
+}

@@ -671,7 +671,7 @@ impl Trace {
             }
         }
 
-        Ok(Trace {
+        let mut trace = Trace {
             ops: state.ops,
             raw_ops,
             cmp_sites,
@@ -684,6 +684,9 @@ impl Trace {
             plan,
             outputs,
             comparisons: state.comparisons,
-        })
+            struct_hash: 0,
+        };
+        trace.struct_hash = trace.compute_struct_hash();
+        Ok(trace)
     }
 }

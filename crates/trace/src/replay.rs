@@ -16,6 +16,11 @@
 //! Both interpreters are bit-identical in outputs and divergence decisions
 //! (`raw_path_matches_fx_path` below, and the kernel-level proptests in
 //! `tests/replay_equivalence.rs`, pin this).
+//!
+//! The batched structure-of-arrays variants — one pass over the tape for
+//! many input sets, or many candidate configurations — live in
+//! [`crate::batch`] and share this module's per-replay dispatch tables
+//! ([`Tables`]) and recycled scratch storage ([`Scratch`]).
 
 use std::cell::RefCell;
 
@@ -28,15 +33,192 @@ use crate::tape::{FmtRef, OutputPlan, Packed, Tag, Trace};
 /// One cell of the per-replay promotion table: what `Fx::promote` decides
 /// for a pair of value format-slots under the current configuration —
 /// computed once per replay (slots × slots is tiny), read once per
-/// arithmetic entry.
-#[derive(Clone, Copy, Default)]
-struct Promo {
+/// arithmetic entry. The resolved result format rides in the cell so the
+/// hot loop never chases `fmts[result]` separately.
+#[derive(Clone, Copy)]
+pub(crate) struct Promo {
     /// Format slot of the promoted result.
-    result: u16,
+    pub(crate) result: u16,
+    /// Resolved format of `result` (== `Tables::fmt(result)`).
+    pub(crate) fmt: FpFormat,
     /// Left operand must be re-rounded into the result format.
-    san_a: bool,
+    pub(crate) san_a: bool,
     /// Right operand must be re-rounded into the result format.
-    san_b: bool,
+    pub(crate) san_b: bool,
+}
+
+/// One cell of the cast dispatch table, keyed on an interned
+/// `(destination-slot, source-slot)` format pair: everything the `Cast`,
+/// `Store` and fused `Bin`+`Cast` paths need to round a value into its
+/// destination, resolved once per replay.
+#[derive(Clone, Copy)]
+pub(crate) struct CastSpec {
+    /// The destination is a superset of the source, so the re-rounding is
+    /// an identity on in-grid values and is skipped.
+    pub(crate) exact: bool,
+    /// Resolved destination format.
+    pub(crate) fmt: FpFormat,
+}
+
+/// The per-replay dispatch tables of the raw interpreter: the format-slot
+/// table resolved against one candidate configuration, plus the
+/// `slots × slots` promotion and cast tables derived from it. Rebuilt once
+/// per replay (`O(slots²)`, slots are few), read once per tape entry.
+#[derive(Default)]
+pub(crate) struct Tables {
+    /// Resolved format of each interned slot.
+    pub(crate) fmts: Vec<FpFormat>,
+    /// Promotion table, `slots × slots`, row-major (`[sa * n + sb]`).
+    promo: Vec<Promo>,
+    /// Cast table, `[dst * n + src]`.
+    cast: Vec<CastSpec>,
+}
+
+impl Tables {
+    /// Resolves `trace`'s interned slots against `config` and rebuilds the
+    /// promotion and cast tables.
+    ///
+    /// The promotion rule here is **provably equivalent to `Fx::promote`**:
+    /// both pick the winner by the lexicographic key
+    /// `(man_bits, exp_bits)`, left operand on ties. An [`FpFormat`] is
+    /// fully determined by `(exp_bits, man_bits)`, so equal keys imply *the
+    /// same mantissa width* — and for the mixed pairs where one side has
+    /// the wider mantissa but the narrower exponent (binary16 vs
+    /// binary16alt), both rules pick the wider mantissa and saturate the
+    /// loser's out-of-range values through the sanitize, exactly like the
+    /// `convert` that `Fx::promote` inserts. The only liberty taken is
+    /// skipping the sanitize when the winner is a *superset* of the loser
+    /// (identity on in-grid values). `promotion_parity_with_fx_promote`
+    /// below pins the equivalence exhaustively over every `FormatKind`
+    /// pair plus randomized flexfloat formats.
+    pub(crate) fn rebuild(&mut self, trace: &Trace, config: &TypeConfig) {
+        self.fmts.clear();
+        self.fmts
+            .extend(trace.fmt_slots.iter().map(|slot| match *slot {
+                FmtRef::Var(i) => config.format_of(trace.var_names[usize::from(i)]),
+                FmtRef::Fixed(fmt) => fmt,
+            }));
+        let n = self.fmts.len();
+        self.promo.clear();
+        self.promo.reserve(n * n);
+        self.cast.clear();
+        self.cast.reserve(n * n);
+        for sa in 0..n {
+            for sb in 0..n {
+                let (fa, fb) = (self.fmts[sa], self.fmts[sb]);
+                // Re-rounding into a superset format is an identity on
+                // in-grid values — skipping it is the one sanitize the
+                // interpreter can prove away that the generic Fx path
+                // pays unconditionally.
+                self.cast.push(CastSpec {
+                    exact: fa.is_superset_of(fb),
+                    fmt: fa,
+                });
+                self.promo.push(if fa == fb {
+                    Promo {
+                        result: sa as u16,
+                        fmt: fa,
+                        san_a: false,
+                        san_b: false,
+                    }
+                } else if (fa.man_bits(), fa.exp_bits()) >= (fb.man_bits(), fb.exp_bits()) {
+                    Promo {
+                        result: sa as u16,
+                        fmt: fa,
+                        san_a: false,
+                        san_b: !fa.is_superset_of(fb),
+                    }
+                } else {
+                    Promo {
+                        result: sb as u16,
+                        fmt: fb,
+                        san_a: !fb.is_superset_of(fa),
+                        san_b: false,
+                    }
+                });
+            }
+        }
+    }
+
+    /// Slot count of the current tables.
+    #[inline]
+    pub(crate) fn n(&self) -> usize {
+        self.fmts.len()
+    }
+
+    /// Resolved format of `slot`.
+    #[inline]
+    pub(crate) fn fmt(&self, slot: u16) -> FpFormat {
+        self.fmts[usize::from(slot)]
+    }
+
+    /// The promotion cell for operand slots `(sa, sb)`.
+    #[inline]
+    pub(crate) fn promo(&self, sa: u16, sb: u16) -> Promo {
+        self.promo[usize::from(sa) * self.fmts.len() + usize::from(sb)]
+    }
+
+    /// The cast cell for `(dst, src)` slots.
+    #[inline]
+    pub(crate) fn cast(&self, dst: u16, src: u16) -> CastSpec {
+        self.cast[usize::from(dst) * self.fmts.len() + usize::from(src)]
+    }
+}
+
+/// Promotes the operands of a binary entry: reads the table cell for the
+/// operands' slots and re-rounds whichever side the cell says, returning
+/// the cell so the caller knows the result slot/format.
+#[inline]
+pub(crate) fn promoted(
+    t: &Tables,
+    vals: &[f64],
+    vslot: &[u16],
+    a: u32,
+    b: u32,
+) -> (f64, f64, Promo) {
+    let e = t.promo(vslot[a as usize], vslot[b as usize]);
+    let mut va = vals[a as usize];
+    let mut vb = vals[b as usize];
+    if e.san_a {
+        va = e.fmt.sanitize_f64(va);
+    }
+    if e.san_b {
+        vb = e.fmt.sanitize_f64(vb);
+    }
+    (va, vb, e)
+}
+
+/// Most retired array buffers a thread's scratch will keep for reuse.
+pub(crate) const MAX_SPARE_BUFFERS: usize = 16;
+
+/// Most bytes of retired array capacity a thread's scratch will keep. A
+/// long-lived `tp-serve` worker replays many differently-shaped traces;
+/// without a cap it would retain the high-water mark of every kernel it
+/// has ever tuned, per thread.
+pub(crate) const MAX_SPARE_BYTES: usize = 4 << 20;
+
+/// Takes a recycled buffer (empty, capacity retained) or a fresh one.
+#[inline]
+pub(crate) fn take_buf(spare: &mut Vec<Vec<f64>>, spare_bytes: &mut usize) -> Vec<f64> {
+    match spare.pop() {
+        Some(buf) => {
+            *spare_bytes -= buf.capacity() * std::mem::size_of::<f64>();
+            buf
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Recycles a retired buffer into `spare`, unless either retention cap
+/// (count or bytes) would be exceeded — then the buffer is simply dropped.
+#[inline]
+pub(crate) fn recycle_buf(spare: &mut Vec<Vec<f64>>, spare_bytes: &mut usize, buf: Vec<f64>) {
+    let bytes = buf.capacity() * std::mem::size_of::<f64>();
+    if spare.len() >= MAX_SPARE_BUFFERS || *spare_bytes + bytes > MAX_SPARE_BYTES {
+        return;
+    }
+    *spare_bytes += bytes;
+    spare.push(buf);
 }
 
 /// Reusable raw-interpreter buffers. A tuning run replays the same tape
@@ -44,28 +226,81 @@ struct Promo {
 /// fresh allocation per replay means an mmap/munmap round trip (plus the
 /// page faults of first touch) per candidate. The scratch is thread-local:
 /// replays on pool workers each reuse their own.
+///
+/// Invariant between replays: `arrays` is empty — every exit path of every
+/// interpreter (including early [`Replayed::Divergent`] returns) retires
+/// its arrays into `spare`, so no per-run state leaks into the next replay
+/// (or, in the batched interpreter, across input-set lanes).
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Value table, split into parallel columns (10 bytes per value
     /// instead of a padded struct — the table is pure memory traffic).
-    vals: Vec<f64>,
+    pub(crate) vals: Vec<f64>,
     /// Format slot of each value.
-    vslot: Vec<u16>,
+    pub(crate) vslot: Vec<u16>,
     /// Arrays as (format slot, storage).
-    arrays: Vec<(u16, Vec<f64>)>,
+    pub(crate) arrays: Vec<(u16, Vec<f64>)>,
     /// Retired array storage, recycled into the next replay's arrays.
-    spare: Vec<Vec<f64>>,
-    /// Resolved format-slot table of the current replay.
-    fmts: Vec<FpFormat>,
-    /// Promotion table, `slots × slots`, row-major.
-    promo: Vec<Promo>,
-    /// `widen[dst * n + src]`: converting `src` into `dst` is exact
-    /// (superset format), so the re-rounding is an identity and is skipped.
-    widen: Vec<bool>,
+    /// Bounded by [`MAX_SPARE_BUFFERS`] / [`MAX_SPARE_BYTES`].
+    pub(crate) spare: Vec<Vec<f64>>,
+    /// Total capacity bytes currently held in `spare`.
+    pub(crate) spare_bytes: usize,
+    /// Resolved dispatch tables of the current replay.
+    pub(crate) tables: Tables,
+}
+
+impl Scratch {
+    /// Retires every live array buffer into the (bounded) spare pool —
+    /// called on **every** interpreter exit path, divergent or not.
+    pub(crate) fn retire_arrays(&mut self) {
+        let mut arrays = std::mem::take(&mut self.arrays);
+        for (_, data) in arrays.drain(..) {
+            recycle_buf(&mut self.spare, &mut self.spare_bytes, data);
+        }
+        // Keep the (empty) Vec so its capacity is reused next replay.
+        self.arrays = arrays;
+    }
+
+    /// Debug-build check of the between-replays invariants.
+    pub(crate) fn debug_assert_clean(&self) {
+        debug_assert!(
+            self.arrays.is_empty(),
+            "scratch.arrays leaked across replays"
+        );
+        debug_assert!(
+            self.spare.len() <= MAX_SPARE_BUFFERS,
+            "spare count cap violated"
+        );
+        debug_assert!(
+            self.spare_bytes <= MAX_SPARE_BYTES,
+            "spare byte cap violated"
+        );
+        debug_assert_eq!(
+            self.spare_bytes,
+            self.spare
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<f64>())
+                .sum::<usize>(),
+            "spare byte accounting drifted"
+        );
+    }
 }
 
 thread_local! {
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with the calling thread's replay scratch, asserting (in debug
+/// builds) the between-replays invariants on entry and exit. `f` must
+/// leave `scratch.arrays` retired.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        scratch.debug_assert_clean();
+        let result = f(scratch);
+        scratch.debug_assert_clean();
+        result
+    })
 }
 
 /// The result of one replay attempt.
@@ -129,7 +364,7 @@ impl Trace {
     /// The observed interpreter: drives the real `Fx`/`FxArray` API so the
     /// thread's `Recorder` and installed backend see exactly what a live
     /// run would show them.
-    fn replay_fx(&self, config: &TypeConfig) -> Replayed {
+    pub(crate) fn replay_fx(&self, config: &TypeConfig) -> Replayed {
         let fmts = self.resolve_formats(config);
 
         // Slot 0 of each table is a dummy so ids index directly.
@@ -222,219 +457,166 @@ impl Trace {
     /// `Fx` path operation for operation — promotion rule, store rounding,
     /// RISC-V min/max, quiet comparisons — so its outputs are bit-identical
     /// to [`Trace::replay_fx`] (and therefore to live execution).
-    #[allow(clippy::too_many_lines)]
-    fn replay_raw(&self, config: &TypeConfig) -> Replayed {
-        SCRATCH.with(|scratch| {
-            let scratch = &mut *scratch.borrow_mut();
-            let Scratch {
-                vals,
-                vslot,
-                arrays,
-                spare,
-                fmts,
-                promo,
-                widen,
-            } = scratch;
-            fmts.clear();
-            fmts.extend(self.fmt_slots.iter().map(|slot| match *slot {
-                FmtRef::Var(i) => config.format_of(self.var_names[usize::from(i)]),
-                FmtRef::Fixed(fmt) => fmt,
-            }));
-            // The promotion decision is a function of the two operand
-            // format slots only; tabulate it once.
-            let n = fmts.len();
-            promo.clear();
-            promo.reserve(n * n);
-            widen.clear();
-            widen.reserve(n * n);
-            for sa in 0..n {
-                for sb in 0..n {
-                    let (fa, fb) = (fmts[sa], fmts[sb]);
-                    // Re-rounding into a superset format is an identity on
-                    // in-grid values — skipping it is the one sanitize the
-                    // interpreter can prove away that the generic Fx path
-                    // pays unconditionally.
-                    widen.push(fa.is_superset_of(fb));
-                    promo.push(if fa == fb {
-                        Promo {
-                            result: sa as u16,
-                            san_a: false,
-                            san_b: false,
-                        }
-                    } else if (fa.man_bits(), fa.exp_bits()) >= (fb.man_bits(), fb.exp_bits()) {
-                        Promo {
-                            result: sa as u16,
-                            san_a: false,
-                            san_b: !fa.is_superset_of(fb),
-                        }
-                    } else {
-                        Promo {
-                            result: sb as u16,
-                            san_a: !fb.is_superset_of(fa),
-                            san_b: false,
-                        }
-                    });
-                }
-            }
-            let promote = |promo: &[Promo], vals: &[f64], vslot: &[u16], a: u32, b: u32| {
-                let (sa, sb) = (vslot[a as usize], vslot[b as usize]);
-                let e = promo[usize::from(sa) * n + usize::from(sb)];
-                let fmt = fmts[usize::from(e.result)];
-                let mut va = vals[a as usize];
-                let mut vb = vals[b as usize];
-                if e.san_a {
-                    va = fmt.sanitize_f64(va);
-                }
-                if e.san_b {
-                    vb = fmt.sanitize_f64(vb);
-                }
-                (va, vb, fmt, e.result)
-            };
-
-            vals.clear();
-            vslot.clear();
-            vals.reserve(self.n_values as usize + 1);
-            vslot.reserve(self.n_values as usize + 1);
-            vals.push(0.0);
-            vslot.push(0);
-            for (_, data) in arrays.drain(..) {
-                spare.push(data);
-            }
-            arrays.push((0, spare.pop().unwrap_or_default()));
-            let mut out: Vec<f64> = Vec::with_capacity(self.outputs.len());
-            let mut cmp_seq = 0usize;
-
-            for p in &self.raw_ops {
-                let Packed { tag, fmt, a, b } = *p;
-                match tag {
-                    Tag::Leaf => {
-                        vals.push(fmts[usize::from(fmt)].sanitize_f64(self.pool[a as usize]));
-                        vslot.push(fmt);
-                    }
-                    Tag::ArrayNew => {
-                        let f = fmts[usize::from(fmt)];
-                        let raw = &self.pool[a as usize..a as usize + b as usize];
-                        let mut data = spare.pop().unwrap_or_default();
-                        data.clear();
-                        data.extend(raw.iter().map(|&x| f.sanitize_f64(x)));
-                        arrays.push((fmt, data));
-                    }
-                    Tag::ArrayZeros => {
-                        let mut data = spare.pop().unwrap_or_default();
-                        data.clear();
-                        data.resize(a as usize, 0.0);
-                        arrays.push((fmt, data));
-                    }
-                    Tag::ArrayDup => {
-                        let (slot, ref src) = arrays[usize::from(fmt)];
-                        let mut data = spare.pop().unwrap_or_default();
-                        data.clear();
-                        data.extend_from_slice(src);
-                        arrays.push((slot, data));
-                    }
-                    Tag::Load => {
-                        let (slot, ref data) = arrays[usize::from(fmt)];
-                        vals.push(data[a as usize]);
-                        vslot.push(slot);
-                    }
-                    Tag::Store => {
-                        let (v, sv) = (vals[b as usize], vslot[b as usize]);
-                        let (slot, ref mut data) = arrays[usize::from(fmt)];
-                        data[a as usize] = if widen[usize::from(slot) * n + usize::from(sv)] {
-                            v
-                        } else {
-                            fmts[usize::from(slot)].sanitize_f64(v)
-                        };
-                    }
-                    Tag::Cast => {
-                        let (v, sv) = (vals[a as usize], vslot[a as usize]);
-                        vals.push(if widen[usize::from(fmt) * n + usize::from(sv)] {
-                            v
-                        } else {
-                            fmts[usize::from(fmt)].sanitize_f64(v)
-                        });
-                        vslot.push(fmt);
-                    }
-                    Tag::Add | Tag::Sub | Tag::Mul | Tag::Div => {
-                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
-                        let op = match tag {
-                            Tag::Add => BinOp::Add,
-                            Tag::Sub => BinOp::Sub,
-                            Tag::Mul => BinOp::Mul,
-                            _ => BinOp::Div,
-                        };
-                        vals.push(Emulated.bin_op(f, op, va, vb));
-                        vslot.push(slot);
-                    }
-                    Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast => {
-                        // Fused bin + cast-of-result: two values, one entry.
-                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
-                        let op = match tag {
-                            Tag::AddCast => BinOp::Add,
-                            Tag::SubCast => BinOp::Sub,
-                            Tag::MulCast => BinOp::Mul,
-                            _ => BinOp::Div,
-                        };
-                        let raw = Emulated.bin_op(f, op, va, vb);
-                        vals.push(raw);
-                        vslot.push(slot);
-                        let dst = fmt;
-                        vals.push(if widen[usize::from(dst) * n + usize::from(slot)] {
-                            raw
-                        } else {
-                            fmts[usize::from(dst)].sanitize_f64(raw)
-                        });
-                        vslot.push(dst);
-                    }
-                    Tag::Sqrt => {
-                        let (v, sv) = (vals[a as usize], vslot[a as usize]);
-                        vals.push(Emulated.sqrt(fmts[usize::from(sv)], v));
-                        vslot.push(sv);
-                    }
-                    Tag::Min | Tag::Max => {
-                        let (va, vb, f, slot) = promote(promo, vals, vslot, a, b);
-                        let val = if tag == Tag::Min {
-                            Emulated.min(f, va, vb)
-                        } else {
-                            Emulated.max(f, va, vb)
-                        };
-                        vals.push(val);
-                        vslot.push(slot);
-                    }
-                    Tag::Neg => {
-                        vals.push(-vals[a as usize]);
-                        vslot.push(vslot[a as usize]);
-                    }
-                    Tag::Abs => {
-                        vals.push(vals[a as usize].abs());
-                        vslot.push(vslot[a as usize]);
-                    }
-                    Tag::CmpLt | Tag::CmpLe => {
-                        let (va, vb, _, _) = promote(promo, vals, vslot, a, b);
-                        let got = if tag == Tag::CmpLe { va <= vb } else { va < vb };
-                        let seq = cmp_seq;
-                        cmp_seq += 1;
-                        if got != (fmt != 0) {
-                            // Map the k-th raw comparison back to its
-                            // full-tape address.
-                            return Replayed::Divergent {
-                                at: self.cmp_sites[seq] as usize,
-                            };
-                        }
-                    }
-                    Tag::Extract => out.push(vals[a as usize]),
-                    Tag::ExtractArray => out.extend_from_slice(&arrays[usize::from(fmt)].1),
-                    Tag::ExtractElement => out.push(arrays[usize::from(fmt)].1[a as usize]),
-                    // Stripped from the raw view (nothing observes them).
-                    Tag::IntOps | Tag::VectorEnter | Tag::VectorExit => {}
-                }
-            }
-
-            match self.plan {
-                OutputPlan::FromExtracts => Replayed::Output(out),
-                OutputPlan::Verbatim => Replayed::Output(self.outputs.clone()),
-            }
+    pub(crate) fn replay_raw(&self, config: &TypeConfig) -> Replayed {
+        with_scratch(|scratch| {
+            let result = self.replay_raw_in(config, scratch);
+            scratch.retire_arrays();
+            result
         })
+    }
+
+    /// The raw interpreter loop proper. Leaves its arrays in
+    /// `scratch.arrays` on every exit path — the caller retires them.
+    #[allow(clippy::too_many_lines)]
+    fn replay_raw_in(&self, config: &TypeConfig, scratch: &mut Scratch) -> Replayed {
+        let Scratch {
+            vals,
+            vslot,
+            arrays,
+            spare,
+            spare_bytes,
+            tables,
+        } = scratch;
+        tables.rebuild(self, config);
+
+        vals.clear();
+        vslot.clear();
+        vals.reserve(self.n_values as usize + 1);
+        vslot.reserve(self.n_values as usize + 1);
+        vals.push(0.0);
+        vslot.push(0);
+        arrays.push((0, take_buf(spare, spare_bytes)));
+        let mut out: Vec<f64> = Vec::with_capacity(self.outputs.len());
+        let mut cmp_seq = 0usize;
+
+        for p in &self.raw_ops {
+            let Packed { tag, fmt, a, b } = *p;
+            match tag {
+                Tag::Leaf => {
+                    vals.push(tables.fmt(fmt).sanitize_f64(self.pool[a as usize]));
+                    vslot.push(fmt);
+                }
+                Tag::ArrayNew => {
+                    let f = tables.fmt(fmt);
+                    let raw = &self.pool[a as usize..a as usize + b as usize];
+                    let mut data = take_buf(spare, spare_bytes);
+                    data.clear();
+                    data.extend(raw.iter().map(|&x| f.sanitize_f64(x)));
+                    arrays.push((fmt, data));
+                }
+                Tag::ArrayZeros => {
+                    let mut data = take_buf(spare, spare_bytes);
+                    data.clear();
+                    data.resize(a as usize, 0.0);
+                    arrays.push((fmt, data));
+                }
+                Tag::ArrayDup => {
+                    let (slot, ref src) = arrays[usize::from(fmt)];
+                    let mut data = take_buf(spare, spare_bytes);
+                    data.clear();
+                    data.extend_from_slice(src);
+                    arrays.push((slot, data));
+                }
+                Tag::Load => {
+                    let (slot, ref data) = arrays[usize::from(fmt)];
+                    vals.push(data[a as usize]);
+                    vslot.push(slot);
+                }
+                Tag::Store => {
+                    let (v, sv) = (vals[b as usize], vslot[b as usize]);
+                    let (slot, ref mut data) = arrays[usize::from(fmt)];
+                    let cs = tables.cast(slot, sv);
+                    data[a as usize] = if cs.exact { v } else { cs.fmt.sanitize_f64(v) };
+                }
+                Tag::Cast => {
+                    let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                    let cs = tables.cast(fmt, sv);
+                    vals.push(if cs.exact { v } else { cs.fmt.sanitize_f64(v) });
+                    vslot.push(fmt);
+                }
+                Tag::Add | Tag::Sub | Tag::Mul | Tag::Div => {
+                    let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                    let op = match tag {
+                        Tag::Add => BinOp::Add,
+                        Tag::Sub => BinOp::Sub,
+                        Tag::Mul => BinOp::Mul,
+                        _ => BinOp::Div,
+                    };
+                    vals.push(Emulated.bin_op(e.fmt, op, va, vb));
+                    vslot.push(e.result);
+                }
+                Tag::AddCast | Tag::SubCast | Tag::MulCast | Tag::DivCast => {
+                    // Fused bin + cast-of-result: two values, one entry. The
+                    // cast side is one table cell keyed on the interned
+                    // (result-slot, dst-slot) pair.
+                    let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                    let op = match tag {
+                        Tag::AddCast => BinOp::Add,
+                        Tag::SubCast => BinOp::Sub,
+                        Tag::MulCast => BinOp::Mul,
+                        _ => BinOp::Div,
+                    };
+                    let raw = Emulated.bin_op(e.fmt, op, va, vb);
+                    vals.push(raw);
+                    vslot.push(e.result);
+                    let cs = tables.cast(fmt, e.result);
+                    vals.push(if cs.exact {
+                        raw
+                    } else {
+                        cs.fmt.sanitize_f64(raw)
+                    });
+                    vslot.push(fmt);
+                }
+                Tag::Sqrt => {
+                    let (v, sv) = (vals[a as usize], vslot[a as usize]);
+                    vals.push(Emulated.sqrt(tables.fmt(sv), v));
+                    vslot.push(sv);
+                }
+                Tag::Min | Tag::Max => {
+                    let (va, vb, e) = promoted(tables, vals, vslot, a, b);
+                    let val = if tag == Tag::Min {
+                        Emulated.min(e.fmt, va, vb)
+                    } else {
+                        Emulated.max(e.fmt, va, vb)
+                    };
+                    vals.push(val);
+                    vslot.push(e.result);
+                }
+                Tag::Neg => {
+                    vals.push(-vals[a as usize]);
+                    vslot.push(vslot[a as usize]);
+                }
+                Tag::Abs => {
+                    vals.push(vals[a as usize].abs());
+                    vslot.push(vslot[a as usize]);
+                }
+                Tag::CmpLt | Tag::CmpLe => {
+                    let (va, vb, _) = promoted(tables, vals, vslot, a, b);
+                    let got = if tag == Tag::CmpLe { va <= vb } else { va < vb };
+                    let seq = cmp_seq;
+                    cmp_seq += 1;
+                    if got != (fmt != 0) {
+                        // Map the k-th raw comparison back to its
+                        // full-tape address. The caller retires the arrays
+                        // pushed so far — divergence must not leak state
+                        // into the next replay.
+                        return Replayed::Divergent {
+                            at: self.cmp_sites[seq] as usize,
+                        };
+                    }
+                }
+                Tag::Extract => out.push(vals[a as usize]),
+                Tag::ExtractArray => out.extend_from_slice(&arrays[usize::from(fmt)].1),
+                Tag::ExtractElement => out.push(arrays[usize::from(fmt)].1[a as usize]),
+                // Stripped from the raw view (nothing observes them).
+                Tag::IntOps | Tag::VectorEnter | Tag::VectorExit => {}
+            }
+        }
+
+        match self.plan {
+            OutputPlan::FromExtracts => Replayed::Output(out),
+            OutputPlan::Verbatim => Replayed::Output(self.outputs.clone()),
+        }
     }
 }
 
@@ -604,6 +786,146 @@ mod tests {
             let (via_fx, _) = Recorder::scoped(|| branchy.replay(&cfg));
             assert_eq!(raw, via_fx, "{cfg}");
         }
+    }
+
+    /// Exhaustive pairwise pin of the raw promotion table against
+    /// `Fx::promote`: every `FormatKind` pair — including the mixed
+    /// binary16 (wider mantissa, narrower exponent) vs binary16alt (the
+    /// reverse) pair — a systematic `(e, m)` grid, and LCG-randomized
+    /// flexfloat formats. The live run promotes through `Fx::promote`; the
+    /// raw replay promotes through the `Promo` table; bit-identical
+    /// outputs over +,−,×,÷,min,max prove the rules agree (see the
+    /// equivalence argument on [`Tables::rebuild`]).
+    #[test]
+    fn promotion_parity_with_fx_promote() {
+        let mut formats = vec![BINARY8, BINARY16, BINARY16ALT, BINARY32];
+        for e in [2u32, 3, 5, 8, 11] {
+            for m in [1u32, 2, 7, 9, 10, 23, 24, 30, 52] {
+                if let Ok(f) = FpFormat::new(e, m) {
+                    formats.push(f);
+                }
+            }
+        }
+        // xorshift64: deterministic "random" flexfloat formats.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..48 {
+            let e = 1 + (next() % 11) as u32;
+            let m = 1 + (next() % 52) as u32;
+            if let Ok(f) = FpFormat::new(e, m) {
+                formats.push(f);
+            }
+        }
+        formats.dedup();
+
+        // Operand values chosen to make the promotion visible: fine-grained
+        // mantissas (round differently at every precision) and a magnitude
+        // outside the small-exponent ranges (saturates when the winner has
+        // the narrow exponent — the exact case where the tie-break rules
+        // could disagree).
+        let run = |cfg: &TypeConfig| {
+            let x = Fx::new(1.0 + 317.0 / 4096.0, cfg.format_of("x"));
+            let y = Fx::new(-196_608.0 * (1.0 + 1.0 / 1024.0), cfg.format_of("y"));
+            vec![
+                (x + y).value(),
+                (x - y).value(),
+                (x * y).value(),
+                (x / y).value(),
+                x.min(y).value(),
+                x.max(y).value(),
+            ]
+        };
+        let vars = [VarSpec::scalar("x"), VarSpec::scalar("y")];
+        let trace = Trace::record(&vars, run).unwrap();
+        for &fa in &formats {
+            for &fb in &formats {
+                let cfg = TypeConfig::baseline().with("x", fa).with("y", fb);
+                let raw = trace.replay(&cfg).output().expect("straight-line");
+                let live = run(&cfg);
+                assert_eq!(
+                    raw.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    live.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "promotion parity broke for {fa} vs {fb}"
+                );
+            }
+        }
+    }
+
+    /// Replaying a large trace must not pin its buffers forever: the spare
+    /// pool is capped by count and bytes, so a later small replay runs with
+    /// a small footprint even on a thread that once replayed a huge kernel.
+    #[test]
+    fn scratch_spare_retention_is_bounded() {
+        // One array over the byte cap: must be dropped, not retained.
+        let big_len = MAX_SPARE_BYTES / std::mem::size_of::<f64>() + 4096;
+        let vars = [VarSpec::array("a", big_len)];
+        let big = Trace::record(&vars, |cfg| {
+            let data = vec![1.0; big_len];
+            let a = FxArray::from_f64s(cfg.format_of("a"), &data);
+            vec![a.peek(0)]
+        })
+        .unwrap();
+        let _ = big.replay(&TypeConfig::baseline()).output().unwrap();
+        SCRATCH.with(|s| {
+            let s = s.borrow();
+            s.debug_assert_clean();
+            assert!(
+                s.spare_bytes <= MAX_SPARE_BYTES,
+                "spare holds {} bytes",
+                s.spare_bytes
+            );
+            assert!(
+                s.spare.iter().all(|b| b.capacity() < big_len),
+                "the over-cap buffer was retained"
+            );
+        });
+
+        // Many small arrays: the count cap holds.
+        let many_vars = [VarSpec::array("a", 4)];
+        let many = Trace::record(&many_vars, |cfg| {
+            let mut out = Vec::new();
+            for _ in 0..3 * MAX_SPARE_BUFFERS {
+                let a = FxArray::from_f64s(cfg.format_of("a"), &[1.0, 2.0, 3.0, 4.0]);
+                out.push(a.peek(0));
+            }
+            out
+        })
+        .unwrap();
+        let _ = many.replay(&TypeConfig::baseline()).output().unwrap();
+        SCRATCH.with(|s| {
+            let s = s.borrow();
+            s.debug_assert_clean();
+            assert!(s.spare.len() <= MAX_SPARE_BUFFERS, "{}", s.spare.len());
+        });
+    }
+
+    /// A divergent early return must retire its arrays like a completed
+    /// replay does — per-run state must never leak into the next replay.
+    #[test]
+    fn divergent_replay_leaves_scratch_clean() {
+        let vars = [VarSpec::array("x", 2)];
+        let run = |cfg: &TypeConfig| {
+            let x = FxArray::from_f64s(
+                cfg.format_of("x"),
+                &[1.0 + 3.0 / 1024.0, 1.0 + 4.0 / 1024.0],
+            );
+            let (a, b) = (x.get(0), x.get(1));
+            let picked = if a.lt(b) { a + b } else { a * b };
+            vec![picked.value()]
+        };
+        let trace = Trace::record(&vars, run).unwrap();
+        let coarse = TypeConfig::baseline().with("x", BINARY8);
+        assert!(matches!(trace.replay(&coarse), Replayed::Divergent { .. }));
+        SCRATCH.with(|s| {
+            let s = s.borrow();
+            assert!(s.arrays.is_empty(), "divergent exit leaked arrays");
+            s.debug_assert_clean();
+        });
     }
 
     #[test]

@@ -161,7 +161,11 @@ proptest! {
 }
 
 /// Layer 2, the acceptance matrix: Replay ≡ Live in chosen formats (and
-/// evaluation counts) for every kernel × backend × worker count.
+/// evaluation counts) for every kernel × backend × worker count — and
+/// batched replay ≡ sequential replay in the *entire* outcome, replay
+/// summary included, over the same matrix. One batched structure-of-arrays
+/// pass over a kernel's input-set tapes must be observationally equal to
+/// replaying each set on its own.
 #[test]
 fn replay_mode_chooses_identical_formats_across_backends_and_workers() {
     for app in all_kernels_small() {
@@ -175,29 +179,78 @@ fn replay_mode_chooses_identical_formats_across_backends_and_workers() {
         for backend_name in tp_bench::BACKEND_NAMES {
             for workers in [1usize, 4] {
                 let backend = tp_bench::backend_by_name(backend_name).expect(backend_name);
-                let replay = Engine::with(backend, || {
-                    distributed_search(
-                        app,
-                        SearchParams::paper(1e-1)
-                            .with_workers(workers)
-                            .with_mode(TunerMode::Replay),
-                    )
+                let params = SearchParams::paper(1e-1)
+                    .with_workers(workers)
+                    .with_mode(TunerMode::Replay);
+                let batched =
+                    Engine::with(backend, || distributed_search(app, params.with_batch(true)));
+                let backend = tp_bench::backend_by_name(backend_name).expect(backend_name);
+                let sequential = Engine::with(backend, || {
+                    distributed_search(app, params.with_batch(false))
                 });
+                for replay in [&batched, &sequential] {
+                    assert_eq!(
+                        fingerprint(&live),
+                        fingerprint(replay),
+                        "{}: backend={backend_name} workers={workers}",
+                        app.name()
+                    );
+                    assert_eq!(
+                        live.eval_config(),
+                        replay.eval_config(),
+                        "{}: backend={backend_name} workers={workers}",
+                        app.name()
+                    );
+                }
+                // Batching must be invisible end to end: same formats,
+                // same evaluation count, same replayed/diverged tallies.
                 assert_eq!(
-                    fingerprint(&live),
-                    fingerprint(&replay),
-                    "{}: backend={backend_name} workers={workers}",
-                    app.name()
-                );
-                assert_eq!(
-                    live.eval_config(),
-                    replay.eval_config(),
+                    batched,
+                    sequential,
                     "{}: backend={backend_name} workers={workers}",
                     app.name()
                 );
             }
         }
     }
+}
+
+/// Satellite matrix: within one batched pass, per-set divergence is exact.
+/// A batch where one input set's recorded comparison flips (and the others
+/// complete) must produce, set for set, the same outcomes — including the
+/// divergence site — as sequential replay.
+#[test]
+fn batched_per_set_divergence_matches_sequential() {
+    // One comparison against a fixed limit; the tape shape is the same for
+    // every input set (all record the `true` branch), but the middle set's
+    // value sits close enough to the limit that binary8 collapses them.
+    let taped = |x0: f64| {
+        let vars = vec![VarSpec::array("x", 2)];
+        Trace::record(&vars, move |cfg| {
+            let x = flexfloat::FxArray::from_f64s(cfg.format_of("x"), &[x0, 1.0 + 4.0 / 1024.0]);
+            let (a, b) = (x.get(0), x.get(1));
+            let picked = if a.lt(b) { a + b } else { a * b };
+            vec![picked.value()]
+        })
+        .unwrap()
+    };
+    let traces = [taped(0.5), taped(1.0 + 3.0 / 1024.0), taped(0.25)];
+    let refs: Vec<&Trace> = traces.iter().collect();
+    assert!(refs[1..].iter().all(|t| refs[0].same_shape(t)));
+
+    for kind in ALL_KINDS {
+        let cfg = TypeConfig::uniform(kind.format());
+        let batched = Trace::replay_batch(&refs, &cfg);
+        let sequential: Vec<Replayed> = traces.iter().map(|t| t.replay(&cfg)).collect();
+        assert_eq!(batched, sequential, "uniform {kind}");
+    }
+    // And the interesting case actually happened: binary8 diverges the
+    // middle set only.
+    let coarse = TypeConfig::uniform(FormatKind::Binary8.format());
+    let outcomes = Trace::replay_batch(&refs, &coarse);
+    assert!(matches!(outcomes[0], Replayed::Output(_)));
+    assert!(matches!(outcomes[1], Replayed::Divergent { .. }));
+    assert!(matches!(outcomes[2], Replayed::Output(_)));
 }
 
 /// A micro-kernel whose *output* rides on a comparison that flips once the
