@@ -121,6 +121,17 @@ pub trait FpBackend: Send + Sync {
     /// Quiet `a <= b` (false on unordered).
     fn le(&self, fmt: FpFormat, a: f64, b: f64) -> bool;
 
+    /// Quiet `a == b` (false on unordered, `-0 == +0`) — RISC-V `feq`.
+    ///
+    /// Operands are in-grid values of `fmt`, where native `f64` equality
+    /// is already the exact IEEE quiet predicate, so the default suffices
+    /// for computing backends; accounting backends override it to count
+    /// the comparison.
+    fn eq(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
+        let _ = fmt;
+        a == b
+    }
+
     /// The IEEE exception flags accumulated since construction (or the last
     /// [`FpBackend::clear_flags`]). Backends without flag tracking — the
     /// emulated fast path deliberately has none — report
@@ -647,6 +658,10 @@ impl FpBackend for SoftFloat {
 
     fn le(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
         ops::le(fmt, fmt.encode_in_grid(a), fmt.encode_in_grid(b))
+    }
+
+    fn eq(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
+        ops::eq(fmt, fmt.encode_in_grid(a), fmt.encode_in_grid(b))
     }
 
     fn flags(&self) -> FlagSet {

@@ -1,0 +1,309 @@
+//! A tiny typed assembler.
+//!
+//! Kernels are written as instruction lists in Rust — no text parsing.
+//! [`Asm`] is a forward-reference-capable builder: instructions append in
+//! order, [`Label`]s name positions, and branch/jump offsets to labels are
+//! patched at [`Asm::assemble`] time. Pseudo-instructions (`li`, `mv`,
+//! `j`, `nop`) expand to their canonical RV32 sequences so a listing reads
+//! like real assembly.
+
+use crate::decode::{encode, x, Instr, Reg};
+
+/// A label naming a code position, created by [`Asm::label`] and placed by
+/// [`Asm::bind`]. Offsets to labels are resolved when the program is
+/// assembled, so forward references are fine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// A fully assembled instruction stream.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Encoded 32-bit instruction words, in fetch order. Code lives in its
+    /// own address space (pc is a word index); data memory is separate —
+    /// the machine is Harvard-style, as a kernel ROM would be.
+    pub code: Vec<u32>,
+}
+
+impl Program {
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+enum Pending {
+    /// An instruction with no label reference, encoded as-is.
+    Fixed(Instr),
+    /// A branch/jump whose offset field is patched from the label's bound
+    /// position at assemble time.
+    LabelRef(Instr, Label),
+}
+
+/// The program builder. See the module docs for the workflow; the
+/// `conv`/`jacobi` builders in [`programs`](crate::programs) are the
+/// canonical examples.
+#[derive(Default)]
+pub struct Asm {
+    pending: Vec<Pending>,
+    /// `labels[i]` is the instruction index `Label(i)` is bound to.
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position (the next emitted
+    /// instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].replace(self.pending.len()).is_none(),
+            "label bound twice"
+        );
+    }
+
+    /// Appends one instruction verbatim.
+    pub fn push(&mut self, instr: Instr) -> &mut Asm {
+        self.pending.push(Pending::Fixed(instr));
+        self
+    }
+
+    fn push_ref(&mut self, instr: Instr, target: Label) -> &mut Asm {
+        self.pending.push(Pending::LabelRef(instr, target));
+        self
+    }
+
+    /// `beq rs1, rs2, target`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.push_ref(
+            Instr::Beq {
+                rs1,
+                rs2,
+                offset: 0,
+            },
+            target,
+        )
+    }
+
+    /// `bne rs1, rs2, target`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.push_ref(
+            Instr::Bne {
+                rs1,
+                rs2,
+                offset: 0,
+            },
+            target,
+        )
+    }
+
+    /// `blt rs1, rs2, target` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.push_ref(
+            Instr::Blt {
+                rs1,
+                rs2,
+                offset: 0,
+            },
+            target,
+        )
+    }
+
+    /// `bge rs1, rs2, target` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Asm {
+        self.push_ref(
+            Instr::Bge {
+                rs1,
+                rs2,
+                offset: 0,
+            },
+            target,
+        )
+    }
+
+    /// `j target` — pseudo for `jal x0, target`.
+    pub fn jump(&mut self, target: Label) -> &mut Asm {
+        self.push_ref(
+            Instr::Jal {
+                rd: Reg::ZERO,
+                offset: 0,
+            },
+            target,
+        )
+    }
+
+    /// `li rd, value` — pseudo: `addi` when the value fits 12 signed
+    /// bits, else `lui` + `addi` with the standard carry-compensated
+    /// split.
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Asm {
+        if (-2048..=2047).contains(&value) {
+            return self.push(Instr::Addi {
+                rd,
+                rs1: Reg::ZERO,
+                imm: value,
+            });
+        }
+        // The low 12 bits are sign-extended by ADDI, so round the upper
+        // part to compensate: hi = (value + 0x800) >> 12.
+        let hi = value.wrapping_add(0x800) >> 12;
+        let lo = value.wrapping_sub(hi << 12);
+        self.push(Instr::Lui { rd, imm20: hi });
+        if lo != 0 {
+            self.push(Instr::Addi {
+                rd,
+                rs1: rd,
+                imm: lo,
+            });
+        }
+        self
+    }
+
+    /// `mv rd, rs` — pseudo for `addi rd, rs, 0`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.push(Instr::Addi {
+            rd,
+            rs1: rs,
+            imm: 0,
+        })
+    }
+
+    /// `nop` — pseudo for `addi x0, x0, 0`.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.push(Instr::Addi {
+            rd: Reg::ZERO,
+            rs1: x(0),
+            imm: 0,
+        })
+    }
+
+    /// Resolves all label references and encodes the instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unbound label or an out-of-range patched offset —
+    /// both are authoring bugs in the kernel builder, not runtime
+    /// conditions.
+    #[must_use]
+    pub fn assemble(self) -> Program {
+        let code = self
+            .pending
+            .iter()
+            .enumerate()
+            .map(|(at, pending)| {
+                let patched = match *pending {
+                    Pending::Fixed(instr) => instr,
+                    Pending::LabelRef(instr, target) => {
+                        let bound = self.labels[target.0].expect("unbound label");
+                        // Offsets are byte-relative to the referencing
+                        // instruction; pc is a word index, so ×4.
+                        let offset = (bound as i64 - at as i64) as i32 * 4;
+                        match instr {
+                            Instr::Beq { rs1, rs2, .. } => Instr::Beq { rs1, rs2, offset },
+                            Instr::Bne { rs1, rs2, .. } => Instr::Bne { rs1, rs2, offset },
+                            Instr::Blt { rs1, rs2, .. } => Instr::Blt { rs1, rs2, offset },
+                            Instr::Bge { rs1, rs2, .. } => Instr::Bge { rs1, rs2, offset },
+                            Instr::Jal { rd, .. } => Instr::Jal { rd, offset },
+                            other => unreachable!("label ref on non-branch {other:?}"),
+                        }
+                    }
+                };
+                encode(&patched)
+            })
+            .collect();
+        Program { code }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Asm::new();
+        let top = asm.label();
+        let done = asm.label();
+        asm.bind(top);
+        asm.push(Instr::Addi {
+            rd: x(1),
+            rs1: x(1),
+            imm: 1,
+        });
+        asm.beq(x(1), x(2), done); // forward: +2 instructions = +8 bytes
+        asm.jump(top); // backward: −2 instructions = −8 bytes
+        asm.bind(done);
+        asm.nop();
+        let program = asm.assemble();
+        assert_eq!(
+            decode(program.code[1]),
+            Ok(Instr::Beq {
+                rs1: x(1),
+                rs2: x(2),
+                offset: 8
+            })
+        );
+        assert_eq!(
+            decode(program.code[2]),
+            Ok(Instr::Jal {
+                rd: Reg::ZERO,
+                offset: -8
+            })
+        );
+    }
+
+    #[test]
+    fn li_splits_large_constants_with_carry_compensation() {
+        // 0x7FF fits; 0x800 does not (ADDI sign-extends) and needs the
+        // rounded LUI; a negative low part exercises the compensation.
+        for value in [
+            0,
+            5,
+            -7,
+            2047,
+            -2048,
+            2048,
+            0x1234_5678,
+            -0x0FED_CBA9,
+            i32::MAX,
+            i32::MIN,
+        ] {
+            let mut asm = Asm::new();
+            asm.li(x(5), value);
+            let program = asm.assemble();
+            // Emulate the sequence.
+            let mut reg: i32 = 0;
+            for word in program.code {
+                match decode(word).unwrap() {
+                    Instr::Lui { imm20, .. } => reg = imm20 << 12,
+                    Instr::Addi { rs1, imm, .. } => {
+                        let base = if rs1 == Reg::ZERO { 0 } else { reg };
+                        reg = base.wrapping_add(imm);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(reg, value, "li {value:#x}");
+        }
+    }
+}

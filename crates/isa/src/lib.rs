@@ -1,0 +1,69 @@
+//! # tp-isa — the RV32 transprecision instruction-stream frontend
+//!
+//! The layer *below* the `Fx` closure kernels: everything else in this
+//! workspace models the platform from the programming model downward, but
+//! the source paper's cycle and energy numbers are counted over **retired
+//! RISC-V instructions** on a core whose transprecision FPU executes
+//! binary8/binary16/binary16alt encodings. This crate closes that gap with
+//! a minimal instruction-level model:
+//!
+//! * [`decode`] — a strict fixed-32-bit decoder for the integer base
+//!   subset straight-line kernels need plus the FP extension, with the
+//!   platform's narrow-format encodings (`smallFloat`-style `fmt` field
+//!   reuse, `Xf16alt` alternate-half markers);
+//! * [`asm`] — a typed assembler: kernels are [`Instr`] lists built in
+//!   Rust with labels and pseudo-instructions, never parsed text;
+//! * [`csr`] — the `fcsr` register (accrued `fflags` + `frm`);
+//! * [`exec`] — the [`Machine`]: register files, flat memory, and an
+//!   executor that routes every FP operation through the active
+//!   [`flexfloat::FpBackend`] and mirrors the closure kernels' event
+//!   recording exactly;
+//! * [`programs`] — hand-assembled CONV and JACOBI streams, the
+//!   instruction-level twins of the `tp-kernels` closures.
+//!
+//! Because the executor makes the *same backend calls on the same in-grid
+//! values* as the closure kernels, an instruction stream under the
+//! SoftFloat backend is bit-identical to its closure twin, and under
+//! `tp_fpu::FpuModel` its measured per-retired-instruction cycles
+//! reconcile with the analytic `tp-platform` account (`exp_isa_validate`
+//! prints the delta table; `tests/isa_equivalence.rs` pins the contracts).
+//!
+//! ## Running an instruction stream
+//!
+//! ```
+//! use tp_isa::{Asm, FormatKind, Instr, Machine, MemWidth};
+//! use tp_isa::decode::{f, x, FpAluOp, Rm};
+//!
+//! // f0 = mem[0] + mem[1] in binary16, stored to mem[2].
+//! let mut asm = Asm::new();
+//! asm.push(Instr::FLoad { width: MemWidth::H16, rd: f(1), rs1: x(0), imm: 0 });
+//! asm.push(Instr::FLoad { width: MemWidth::H16, rd: f(2), rs1: x(0), imm: 2 });
+//! asm.push(Instr::FArith {
+//!     op: FpAluOp::Add, fmt: FormatKind::Binary16,
+//!     rd: f(0), rs1: f(1), rs2: f(2), rm: Rm::Rne,
+//! });
+//! asm.push(Instr::FStore { width: MemWidth::H16, rs2: f(0), rs1: x(0), imm: 4 });
+//! asm.push(Instr::Ecall);
+//!
+//! let mut machine = Machine::new(asm.assemble(), 64);
+//! machine.write_fp_slice(FormatKind::Binary16, 0, &[1.5, 0.25]);
+//! let stats = machine.run()?;
+//! assert_eq!(machine.read_fp_slice(FormatKind::Binary16, 4, 1), vec![1.75]);
+//! assert_eq!(stats.backend_fp_ops(), 1);
+//! # Ok::<(), tp_isa::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod csr;
+pub mod decode;
+pub mod exec;
+pub mod programs;
+
+pub use asm::{Asm, Label, Program};
+pub use csr::Fcsr;
+pub use decode::{f, x, FReg, IllegalInstruction, Instr, MemWidth, Reg};
+pub use exec::{ExecError, Machine, RunStats};
+pub use programs::{conv, jacobi, IsaKernel};
+pub use tp_formats::FormatKind;

@@ -1,0 +1,656 @@
+//! Hand-assembled instruction-stream kernels.
+//!
+//! CONV and JACOBI, the instruction-level twins of the closure kernels in
+//! `tp-kernels`: same sizes, same input values, and — crucially — the same
+//! *sequence of backend operations* per output element, so under any
+//! [`FpBackend`](flexfloat::FpBackend) the streams produce bit-identical
+//! outputs to their closures (`tests/isa_equivalence.rs` pins this for
+//! every `FormatKind`).
+//!
+//! The mirroring is precise down to dependency structure. CONV's tap is
+//! `fmul` then `fadd` back-to-back (the closure's `acc + img * coeff`),
+//! so each tap carries one producer→consumer stall pair in two-cycle
+//! formats; JACOBI's cell is a three-`fadd` chain into a `fmul`, carrying
+//! three pairs. Accumulator initialization uses `fmv` from `x0` (+0.0 bits)
+//! and the `quarter` constant is materialized with `li` + `fmv` — free
+//! moves, exactly as `Fx::zero`/`Fx::new` are free in the closure world.
+//!
+//! Builders take the input *values* as slices; the experiment harnesses
+//! pass the closure kernels' own generators (`Conv::image`,
+//! `Jacobi::initial_grid`) so both worlds consume one input stream.
+
+use tp_formats::FormatKind;
+
+use crate::asm::{Asm, Program};
+use crate::decode::{f, x, FpAluOp, Instr, MemWidth, Reg, Rm};
+use crate::exec::{ExecError, Machine, RunStats};
+
+/// Filter side of CONV (fixed at 5×5, as in the paper).
+pub const K: usize = 5;
+
+/// A runnable instruction-stream kernel: program, memory image and the
+/// location of its output.
+pub struct IsaKernel {
+    /// Kernel name (`"CONV"` / `"JACOBI"`).
+    pub name: &'static str,
+    /// The uniform storage/compute format of the run.
+    pub fmt: FormatKind,
+    /// The assembled instruction stream.
+    pub program: Program,
+    /// Data memory size in bytes.
+    pub mem_bytes: usize,
+    /// Initial memory image: `(byte address, values)` segments, written as
+    /// consecutive `fmt` elements (rounded to the grid first, exactly as
+    /// `FxArray::from_f64s` rounds).
+    pub segments: Vec<(u32, Vec<f64>)>,
+    /// Byte address of the output slice after a successful run.
+    pub out_addr: u32,
+    /// Output length in elements.
+    pub out_len: usize,
+}
+
+impl IsaKernel {
+    /// A fresh machine with the program loaded and all segments written.
+    #[must_use]
+    pub fn machine(&self) -> Machine {
+        let mut machine = Machine::new(self.program.clone(), self.mem_bytes);
+        for (addr, values) in &self.segments {
+            machine.write_fp_slice(self.fmt, *addr, values);
+        }
+        machine
+    }
+
+    /// Runs the kernel to its `ecall` and reads back the output slice.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] the stream hits.
+    pub fn run(&self) -> Result<(Vec<f64>, RunStats), ExecError> {
+        let mut machine = self.machine();
+        let stats = machine.run()?;
+        Ok((
+            machine.read_fp_slice(self.fmt, self.out_addr, self.out_len),
+            stats,
+        ))
+    }
+}
+
+/// `log2` of the element width in bytes — the `slli` shift that scales an
+/// element index to a byte offset.
+fn shift_of(fmt: FormatKind) -> u32 {
+    fmt.width_bytes().trailing_zeros()
+}
+
+// Register conventions shared by both kernels (plain `x5..` temporaries;
+// no ABI, these are bare-metal streams).
+const R: Reg = x(5);
+const C: Reg = x(6);
+const T0: Reg = x(12);
+const T1: Reg = x(13);
+const N: Reg = x(11);
+
+/// Builds the CONV instruction stream: a 5×5 filter over an `n`×`n`
+/// image (valid region), every tap a `fmul`/`fadd` MAC into a scalar
+/// accumulator. `image` must hold `n*n` values and `coeff` `K*K`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `n`.
+#[must_use]
+pub fn conv(n: usize, fmt: FormatKind, image: &[f64], coeff: &[f64]) -> IsaKernel {
+    assert_eq!(image.len(), n * n, "image must be n*n");
+    assert_eq!(coeff.len(), K * K, "coeff must be {K}x{K}");
+    let m = n - K + 1; // valid output side
+    let w = fmt.width_bytes();
+    let sh = shift_of(fmt);
+    let img_base = 0u32;
+    let coeff_base = (n * n) as u32 * w;
+    let out_base = coeff_base + (K * K) as u32 * w;
+    let mem_bytes = (out_base + (m * m) as u32 * w) as usize;
+
+    let kr = x(7);
+    let kc = x(8);
+    let m_reg = x(9);
+    let k_reg = x(10);
+    let img = x(18);
+    let coeff_reg = x(19);
+    let out = x(20);
+
+    let mut asm = Asm::new();
+    asm.li(N, n as i32);
+    asm.li(m_reg, m as i32);
+    asm.li(k_reg, K as i32);
+    asm.li(img, img_base as i32);
+    asm.li(coeff_reg, coeff_base as i32);
+    asm.li(out, out_base as i32);
+
+    let r_loop = asm.label();
+    let c_loop = asm.label();
+    let kr_loop = asm.label();
+    let kc_loop = asm.label();
+
+    asm.li(R, 0);
+    asm.bind(r_loop);
+    asm.li(C, 0);
+    asm.bind(c_loop);
+
+    // acc = +0.0 — free constant materialization, the twin of Fx::zero.
+    asm.push(Instr::FMvToFp {
+        fmt,
+        rd: f(0),
+        rs1: Reg::ZERO,
+    });
+
+    asm.li(kr, 0);
+    asm.bind(kr_loop);
+    asm.li(kc, 0);
+    asm.bind(kc_loop);
+
+    // f1 = image[(r + kr) * n + c + kc]
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: R,
+        rs2: kr,
+    });
+    asm.push(Instr::Mul {
+        rd: T0,
+        rs1: T0,
+        rs2: N,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: C,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: kc,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: img,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(1),
+        rs1: T0,
+        imm: 0,
+    });
+    // f2 = coeff[kr * K + kc]   (kr * 5 = kr * 4 + kr)
+    asm.push(Instr::Slli {
+        rd: T1,
+        rs1: kr,
+        shamt: 2,
+    });
+    asm.push(Instr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: kr,
+    });
+    asm.push(Instr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: kc,
+    });
+    asm.push(Instr::Slli {
+        rd: T1,
+        rs1: T1,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T1,
+        rs1: T1,
+        rs2: coeff_reg,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(2),
+        rs1: T1,
+        imm: 0,
+    });
+    // The MAC: product then accumulate, back to back — the closure's
+    // `acc + image.get(..) * coeff.get(..)`, one stall pair per tap in
+    // two-cycle formats.
+    asm.push(Instr::FArith {
+        op: FpAluOp::Mul,
+        fmt,
+        rd: f(3),
+        rs1: f(1),
+        rs2: f(2),
+        rm: rm_for(fmt),
+    });
+    asm.push(Instr::FArith {
+        op: FpAluOp::Add,
+        fmt,
+        rd: f(0),
+        rs1: f(0),
+        rs2: f(3),
+        rm: rm_for(fmt),
+    });
+
+    asm.push(Instr::Addi {
+        rd: kc,
+        rs1: kc,
+        imm: 1,
+    });
+    asm.blt(kc, k_reg, kc_loop);
+    asm.push(Instr::Addi {
+        rd: kr,
+        rs1: kr,
+        imm: 1,
+    });
+    asm.blt(kr, k_reg, kr_loop);
+
+    // out[r * m + c] = acc
+    asm.push(Instr::Mul {
+        rd: T0,
+        rs1: R,
+        rs2: m_reg,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: C,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: out,
+    });
+    asm.push(Instr::FStore {
+        width: MemWidth::of(fmt),
+        rs2: f(0),
+        rs1: T0,
+        imm: 0,
+    });
+
+    asm.push(Instr::Addi {
+        rd: C,
+        rs1: C,
+        imm: 1,
+    });
+    asm.blt(C, m_reg, c_loop);
+    asm.push(Instr::Addi {
+        rd: R,
+        rs1: R,
+        imm: 1,
+    });
+    asm.blt(R, m_reg, r_loop);
+    asm.push(Instr::Ecall);
+
+    IsaKernel {
+        name: "CONV",
+        fmt,
+        program: asm.assemble(),
+        mem_bytes,
+        segments: vec![(img_base, image.to_vec()), (coeff_base, coeff.to_vec())],
+        out_addr: out_base,
+        out_len: m * m,
+    }
+}
+
+/// Builds the JACOBI instruction stream: `iterations` relaxation sweeps
+/// over an `n`×`n` heat grid with fixed boundaries, ping-ponging between
+/// two buffers. `init` must hold `n*n` values (both buffers start from it,
+/// as the closure kernel's do).
+///
+/// # Panics
+///
+/// Panics if `init` does not hold `n*n` values or `iterations` is zero.
+#[must_use]
+pub fn jacobi(n: usize, iterations: usize, fmt: FormatKind, init: &[f64]) -> IsaKernel {
+    assert_eq!(init.len(), n * n, "init must be n*n");
+    assert!(iterations > 0, "at least one sweep");
+    let w = fmt.width_bytes();
+    let sh = shift_of(fmt);
+    let buf_a = 0u32;
+    let buf_b = (n * n) as u32 * w;
+    let mem_bytes = 2 * n * n * w as usize;
+
+    let limit = x(7); // n - 1
+    let grid = x(18); // read buffer pointer
+    let next = x(19); // write buffer pointer
+    let iter = x(20);
+    let iters = x(21);
+    let cell = x(14); // r * n + c, kept for all four neighbour addresses
+
+    let mut asm = Asm::new();
+    asm.li(N, n as i32);
+    asm.li(limit, (n - 1) as i32);
+    asm.li(grid, buf_a as i32);
+    asm.li(next, buf_b as i32);
+    asm.li(iter, 0);
+    asm.li(iters, iterations as i32);
+
+    // quarter = 0.25 — exact in every platform format; materialized as
+    // raw bits through the integer file (li + fmv), free like Fx::new.
+    let quarter_bits = fmt.format().encode_in_grid(0.25) as i64;
+    asm.li(
+        x(22),
+        i32::try_from(quarter_bits).expect("0.25 encodes in 32 bits"),
+    );
+    asm.push(Instr::FMvToFp {
+        fmt,
+        rd: f(5),
+        rs1: x(22),
+    });
+
+    let sweep_loop = asm.label();
+    let r_loop = asm.label();
+    let c_loop = asm.label();
+
+    asm.bind(sweep_loop);
+    asm.li(R, 1);
+    asm.bind(r_loop);
+    asm.li(C, 1);
+    asm.bind(c_loop);
+
+    // cell = r * n + c
+    asm.push(Instr::Mul {
+        rd: cell,
+        rs1: R,
+        rs2: N,
+    });
+    asm.push(Instr::Add {
+        rd: cell,
+        rs1: cell,
+        rs2: C,
+    });
+    // f1 = grid[cell - n] (up)
+    asm.push(Instr::Sub {
+        rd: T0,
+        rs1: cell,
+        rs2: N,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: grid,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(1),
+        rs1: T0,
+        imm: 0,
+    });
+    // f2 = grid[cell + n] (down)
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: cell,
+        rs2: N,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: grid,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(2),
+        rs1: T0,
+        imm: 0,
+    });
+    // f3 = grid[cell - 1] (left)
+    asm.push(Instr::Addi {
+        rd: T0,
+        rs1: cell,
+        imm: -1,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: grid,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(3),
+        rs1: T0,
+        imm: 0,
+    });
+    // f4 = grid[cell + 1] (right)
+    asm.push(Instr::Addi {
+        rd: T0,
+        rs1: cell,
+        imm: 1,
+    });
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: T0,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: grid,
+    });
+    asm.push(Instr::FLoad {
+        width: MemWidth::of(fmt),
+        rd: f(4),
+        rs1: T0,
+        imm: 0,
+    });
+    // The stencil: ((up + down) + left + right) * quarter — a three-add
+    // chain into the multiply, three stall pairs per cell in two-cycle
+    // formats, exactly the closure's dependency structure.
+    for rs2 in [f(2), f(3), f(4)] {
+        asm.push(Instr::FArith {
+            op: FpAluOp::Add,
+            fmt,
+            rd: f(0),
+            rs1: if rs2 == f(2) { f(1) } else { f(0) },
+            rs2,
+            rm: rm_for(fmt),
+        });
+    }
+    asm.push(Instr::FArith {
+        op: FpAluOp::Mul,
+        fmt,
+        rd: f(0),
+        rs1: f(0),
+        rs2: f(5),
+        rm: rm_for(fmt),
+    });
+    // next[cell] = f0
+    asm.push(Instr::Slli {
+        rd: T0,
+        rs1: cell,
+        shamt: sh,
+    });
+    asm.push(Instr::Add {
+        rd: T0,
+        rs1: T0,
+        rs2: next,
+    });
+    asm.push(Instr::FStore {
+        width: MemWidth::of(fmt),
+        rs2: f(0),
+        rs1: T0,
+        imm: 0,
+    });
+
+    asm.push(Instr::Addi {
+        rd: C,
+        rs1: C,
+        imm: 1,
+    });
+    asm.blt(C, limit, c_loop);
+    asm.push(Instr::Addi {
+        rd: R,
+        rs1: R,
+        imm: 1,
+    });
+    asm.blt(R, limit, r_loop);
+
+    // Pointer swap — the closure's std::mem::swap(&mut grid, &mut next).
+    asm.mv(T0, grid);
+    asm.mv(grid, next);
+    asm.mv(next, T0);
+
+    asm.push(Instr::Addi {
+        rd: iter,
+        rs1: iter,
+        imm: 1,
+    });
+    asm.blt(iter, iters, sweep_loop);
+    asm.push(Instr::Ecall);
+
+    // After an odd number of sweeps the freshly written buffer is B; after
+    // an even number it is A again (the swap parity of the closure).
+    let out_addr = if iterations % 2 == 1 { buf_b } else { buf_a };
+
+    IsaKernel {
+        name: "JACOBI",
+        fmt,
+        program: asm.assemble(),
+        mem_bytes,
+        segments: vec![(buf_a, init.to_vec()), (buf_b, init.to_vec())],
+        out_addr,
+        out_len: n * n,
+    }
+}
+
+/// Rounding-mode field for a uniform-format kernel: binary16alt has no
+/// free rm field (it carries the alternate marker), so it is dynamic;
+/// everything else uses static nearest-even.
+fn rm_for(fmt: FormatKind) -> Rm {
+    if fmt == FormatKind::Binary16Alt {
+        Rm::Dyn
+    } else {
+        Rm::Rne
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexfloat::Recorder;
+
+    fn ramp(len: usize) -> Vec<f64> {
+        (0..len).map(|i| (i % 7) as f64 * 0.25 + 1.0).collect()
+    }
+
+    #[test]
+    fn conv_output_matches_a_direct_mac_in_binary32() {
+        let n = 8;
+        let image = ramp(n * n);
+        let coeff = ramp(K * K);
+        let kernel = conv(n, FormatKind::Binary32, &image, &coeff);
+        let (out, stats) = kernel.run().expect("conv runs");
+        let m = n - K + 1;
+        assert_eq!(out.len(), m * m);
+        // f32 MAC in the same order is the bit-exact reference for
+        // binary32 (each step correctly rounded to binary32).
+        for r in 0..m {
+            for c in 0..m {
+                let mut acc = 0.0f32;
+                for kr in 0..K {
+                    for kc in 0..K {
+                        let i = image[(r + kr) * n + c + kc] as f32;
+                        let w = coeff[kr * K + kc] as f32;
+                        acc += i * w;
+                    }
+                }
+                assert_eq!(out[r * m + c], f64::from(acc), "cell ({r},{c})");
+            }
+        }
+        assert_eq!(stats.fp_arith as usize, 2 * K * K * m * m);
+        assert_eq!(stats.fp_loads as usize, 2 * K * K * m * m);
+        assert_eq!(stats.fp_stores as usize, m * m);
+    }
+
+    #[test]
+    fn jacobi_sweep_averages_neighbours() {
+        let n = 6;
+        let init = ramp(n * n);
+        let kernel = jacobi(n, 1, FormatKind::Binary32, &init);
+        let (out, stats) = kernel.run().expect("jacobi runs");
+        // Boundary untouched.
+        for i in 0..n {
+            assert_eq!(out[i], f64::from(init[i] as f32));
+        }
+        // One interior cell, recomputed in f32 (bit-exact for binary32).
+        let (r, c) = (2, 3);
+        let want = (init[(r - 1) * n + c] as f32
+            + init[(r + 1) * n + c] as f32
+            + init[r * n + c - 1] as f32
+            + init[r * n + c + 1] as f32)
+            * 0.25;
+        assert_eq!(out[r * n + c], f64::from(want));
+        let interior = (n - 2) * (n - 2);
+        assert_eq!(stats.fp_arith as usize, 4 * interior);
+        assert_eq!(stats.fp_loads as usize, 4 * interior);
+    }
+
+    #[test]
+    fn jacobi_output_buffer_follows_swap_parity() {
+        let n = 6;
+        let init = ramp(n * n);
+        let odd = jacobi(n, 1, FormatKind::Binary16, &init);
+        let even = jacobi(n, 2, FormatKind::Binary16, &init);
+        assert_ne!(odd.out_addr, even.out_addr);
+        assert_eq!(odd.out_addr, (n * n) as u32 * 2);
+        assert_eq!(even.out_addr, 0);
+    }
+
+    #[test]
+    fn dependency_pairs_match_the_hand_count() {
+        // CONV: one fmul→fadd pair per tap. JACOBI: three pairs per cell
+        // (add→add, add→add, add→mul). These are the structures the
+        // analytic stall model prices; pin them here so a reordering in
+        // the builders cannot silently change the cycle account.
+        let n = 8;
+        let image = ramp(n * n);
+        let coeff = ramp(K * K);
+        let kernel = conv(n, FormatKind::Binary16, &image, &coeff);
+        let (_, counts) = Recorder::scoped(|| kernel.run().expect("conv runs"));
+        let m = n - K + 1;
+        let pairs: u64 = counts.dependent_pairs.values().map(|c| c.total()).sum();
+        assert_eq!(pairs as usize, K * K * m * m);
+
+        let init = ramp(n * n);
+        let kernel = jacobi(n, 2, FormatKind::Binary16, &init);
+        let (_, counts) = Recorder::scoped(|| kernel.run().expect("jacobi runs"));
+        let pairs: u64 = counts.dependent_pairs.values().map(|c| c.total()).sum();
+        assert_eq!(pairs as usize, 3 * (n - 2) * (n - 2) * 2);
+    }
+
+    #[test]
+    fn every_format_runs_clean() {
+        for fmt in tp_formats::ALL_KINDS {
+            let n = 6;
+            let kernel = conv(n, fmt, &ramp(n * n), &ramp(K * K));
+            let (out, _) = kernel.run().expect("conv runs");
+            assert!(out.iter().all(|v| v.is_finite()), "{fmt}");
+            let kernel = jacobi(n, 2, fmt, &ramp(n * n));
+            let (out, _) = kernel.run().expect("jacobi runs");
+            assert!(out.iter().all(|v| v.is_finite()), "{fmt}");
+        }
+    }
+}

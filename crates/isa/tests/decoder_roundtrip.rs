@@ -1,0 +1,356 @@
+//! Decoder soundness: every encodable instruction survives
+//! encode→decode→encode bit-exactly over its whole operand space, and no
+//! 32-bit word — legal or garbage — can make `decode` panic.
+//!
+//! The round-trip is checked at two strengths:
+//!
+//! * **value round-trip** (`decode(encode(i)) == i`) for every *canonical*
+//!   instruction — canonical meaning binary16alt rounded ops carry
+//!   [`Rm::Dyn`], since the alternate-half marker hijacks the `rm` field
+//!   and the decoder can only ever resolve it to the dynamic mode;
+//! * **word round-trip** (`encode(decode(w)) == w`) for every word the
+//!   proptest fuzzer finds decodable, which pins the strictness contract:
+//!   a decodable word has exactly one spelling.
+
+use proptest::prelude::*;
+use tp_formats::ALL_KINDS;
+use tp_isa::decode::{
+    csr_addr, decode, encode, f, x, CmpOp, FpAluOp, Instr, MemWidth, Rm, SgnjMode,
+};
+use tp_isa::FormatKind;
+
+/// Value round-trip for one canonical instruction.
+fn roundtrip(i: Instr) {
+    let w = encode(&i);
+    let d = decode(w).unwrap_or_else(|e| panic!("{i:?} encoded to undecodable {w:#010x}: {e}"));
+    assert_eq!(d, i, "decode(encode(i)) changed the instruction");
+    assert_eq!(encode(&d), w, "re-encoding is not bit-stable");
+}
+
+/// The rounding modes a rounded op can canonically carry in `fmt`.
+fn rms_for(fmt: FormatKind) -> &'static [Rm] {
+    if fmt == FormatKind::Binary16Alt {
+        &[Rm::Dyn]
+    } else {
+        &[Rm::Rne, Rm::Dyn]
+    }
+}
+
+const WIDTHS: [MemWidth; 3] = [MemWidth::B8, MemWidth::H16, MemWidth::W32];
+
+#[test]
+fn fp_register_ops_roundtrip_over_the_full_register_file() {
+    for fmt in ALL_KINDS {
+        for rd in 0..32u8 {
+            for rs1 in 0..32u8 {
+                for rs2 in 0..32u8 {
+                    for op in [FpAluOp::Add, FpAluOp::Sub, FpAluOp::Mul, FpAluOp::Div] {
+                        for &rm in rms_for(fmt) {
+                            roundtrip(Instr::FArith {
+                                op,
+                                fmt,
+                                rd: f(rd),
+                                rs1: f(rs1),
+                                rs2: f(rs2),
+                                rm,
+                            });
+                        }
+                    }
+                    for mode in [SgnjMode::Inj, SgnjMode::Neg, SgnjMode::Xor] {
+                        roundtrip(Instr::FSgnj {
+                            fmt,
+                            mode,
+                            rd: f(rd),
+                            rs1: f(rs1),
+                            rs2: f(rs2),
+                        });
+                    }
+                    for max in [false, true] {
+                        roundtrip(Instr::FMinMax {
+                            fmt,
+                            max,
+                            rd: f(rd),
+                            rs1: f(rs1),
+                            rs2: f(rs2),
+                        });
+                    }
+                    for cmp in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq] {
+                        roundtrip(Instr::FCmp {
+                            fmt,
+                            cmp,
+                            rd: x(rd),
+                            rs1: f(rs1),
+                            rs2: f(rs2),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fp_unary_ops_roundtrip_over_registers_formats_and_modes() {
+    for fmt in ALL_KINDS {
+        for rd in 0..32u8 {
+            for rs1 in 0..32u8 {
+                for &rm in rms_for(fmt) {
+                    roundtrip(Instr::FSqrt {
+                        fmt,
+                        rd: f(rd),
+                        rs1: f(rs1),
+                        rm,
+                    });
+                }
+                for from in ALL_KINDS {
+                    if from == fmt {
+                        continue; // to == from is deliberately unencodable
+                    }
+                    for &rm in rms_for(fmt) {
+                        roundtrip(Instr::FCvt {
+                            to: fmt,
+                            from,
+                            rd: f(rd),
+                            rs1: f(rs1),
+                            rm,
+                        });
+                    }
+                }
+                roundtrip(Instr::FMvToFp {
+                    fmt,
+                    rd: f(rd),
+                    rs1: x(rs1),
+                });
+                roundtrip(Instr::FMvToInt {
+                    fmt,
+                    rd: x(rd),
+                    rs1: f(rs1),
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_ops_roundtrip_over_every_offset_and_register_pair() {
+    // Every 12-bit immediate with a register sample, then every register
+    // pair with an immediate sample: both axes exhaustively covered.
+    let reg_sample: [u8; 4] = [0, 1, 17, 31];
+    for imm in -2048..=2047i32 {
+        for &r in &reg_sample {
+            roundtrip(Instr::Lw {
+                rd: x(r),
+                rs1: x(31 - r),
+                imm,
+            });
+            roundtrip(Instr::Sw {
+                rs2: x(r),
+                rs1: x(31 - r),
+                imm,
+            });
+            for width in WIDTHS {
+                roundtrip(Instr::FLoad {
+                    width,
+                    rd: f(r),
+                    rs1: x(31 - r),
+                    imm,
+                });
+                roundtrip(Instr::FStore {
+                    width,
+                    rs2: f(r),
+                    rs1: x(31 - r),
+                    imm,
+                });
+            }
+        }
+    }
+    for a in 0..32u8 {
+        for b in 0..32u8 {
+            for imm in [-2048, -1, 0, 1, 2047] {
+                roundtrip(Instr::Lw {
+                    rd: x(a),
+                    rs1: x(b),
+                    imm,
+                });
+                roundtrip(Instr::Sw {
+                    rs2: x(a),
+                    rs1: x(b),
+                    imm,
+                });
+                for width in WIDTHS {
+                    roundtrip(Instr::FLoad {
+                        width,
+                        rd: f(a),
+                        rs1: x(b),
+                        imm,
+                    });
+                    roundtrip(Instr::FStore {
+                        width,
+                        rs2: f(a),
+                        rs1: x(b),
+                        imm,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn integer_and_control_ops_roundtrip() {
+    for a in 0..32u8 {
+        for b in 0..32u8 {
+            for c in [0u8, 9, 31] {
+                roundtrip(Instr::Add {
+                    rd: x(c),
+                    rs1: x(a),
+                    rs2: x(b),
+                });
+                roundtrip(Instr::Sub {
+                    rd: x(c),
+                    rs1: x(a),
+                    rs2: x(b),
+                });
+                roundtrip(Instr::Mul {
+                    rd: x(c),
+                    rs1: x(a),
+                    rs2: x(b),
+                });
+            }
+            for imm in [-2048, -7, 0, 1, 2047] {
+                roundtrip(Instr::Addi {
+                    rd: x(a),
+                    rs1: x(b),
+                    imm,
+                });
+            }
+            for shamt in 0..32u32 {
+                roundtrip(Instr::Slli {
+                    rd: x(a),
+                    rs1: x(b),
+                    shamt,
+                });
+            }
+            for offset in [-4096, -2, 0, 2, 4094] {
+                roundtrip(Instr::Beq {
+                    rs1: x(a),
+                    rs2: x(b),
+                    offset,
+                });
+                roundtrip(Instr::Bne {
+                    rs1: x(a),
+                    rs2: x(b),
+                    offset,
+                });
+                roundtrip(Instr::Blt {
+                    rs1: x(a),
+                    rs2: x(b),
+                    offset,
+                });
+                roundtrip(Instr::Bge {
+                    rs1: x(a),
+                    rs2: x(b),
+                    offset,
+                });
+            }
+        }
+    }
+    // Every even branch offset (the immediate wiring is the fiddly part).
+    for offset in (-4096..=4094i32).step_by(2) {
+        roundtrip(Instr::Blt {
+            rs1: x(5),
+            rs2: x(6),
+            offset,
+        });
+    }
+    for offset in (-(1 << 20)..(1 << 20)).step_by(2) {
+        roundtrip(Instr::Jal { rd: x(1), offset });
+    }
+    for imm20 in -(1 << 19)..(1 << 19) {
+        roundtrip(Instr::Lui { rd: x(7), imm20 });
+    }
+    for csr in [csr_addr::FFLAGS, csr_addr::FRM, csr_addr::FCSR] {
+        for r in 0..32u8 {
+            roundtrip(Instr::Csrrw {
+                rd: x(r),
+                csr,
+                rs1: x(31 - r),
+            });
+            roundtrip(Instr::Csrrs {
+                rd: x(r),
+                csr,
+                rs1: x(31 - r),
+            });
+        }
+    }
+    roundtrip(Instr::Ecall);
+}
+
+#[test]
+fn alternate_half_rounded_ops_normalize_to_dynamic_rounding() {
+    // Binary16alt's rm field carries the alt marker, so whatever the
+    // builder asked for, the decoded instruction reads back as Rm::Dyn —
+    // and the *word* still round-trips bit-exactly.
+    let i = Instr::FArith {
+        op: FpAluOp::Add,
+        fmt: FormatKind::Binary16Alt,
+        rd: f(1),
+        rs1: f(2),
+        rs2: f(3),
+        rm: Rm::Rne,
+    };
+    let w = encode(&i);
+    let d = decode(w).unwrap();
+    assert_eq!(encode(&d), w);
+    assert!(matches!(d, Instr::FArith { rm: Rm::Dyn, .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// `decode` must never panic, and whatever it accepts must re-encode
+    /// to the identical word (strictness: one spelling per word).
+    #[test]
+    fn arbitrary_words_never_panic_and_reencode_exactly(word in any::<u32>()) {
+        match decode(word) {
+            Ok(instr) => prop_assert_eq!(encode(&instr), word),
+            Err(e) => prop_assert_eq!(e.0, word),
+        }
+    }
+
+    /// Near-miss fuzzing: flip bits of *legal* words so the fuzzer spends
+    /// its budget on the interesting boundary instead of far-field noise.
+    #[test]
+    fn corrupted_legal_words_decode_strictly_or_reject(
+        rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+        sel in 0usize..4, flip in 0u32..32,
+    ) {
+        let fmt = ALL_KINDS[sel];
+        let base = encode(&Instr::FArith {
+            op: FpAluOp::Mul, fmt,
+            rd: f(rd), rs1: f(rs1), rs2: f(rs2),
+            rm: if fmt == FormatKind::Binary16Alt { Rm::Dyn } else { Rm::Rne },
+        });
+        let word = base ^ (1 << flip);
+        match decode(word) {
+            Ok(instr) => prop_assert_eq!(encode(&instr), word),
+            Err(e) => prop_assert_eq!(e.0, word),
+        }
+    }
+}
+
+#[test]
+fn known_reserved_encodings_are_rejected() {
+    // A sample of must-reject words, one per strictness rule.
+    let reserved = [
+        0x0000_0000,                       // all-zero word
+        0xFFFF_FFFF,                       // all-ones word
+        encode(&Instr::Ecall) | (1 << 20), // EBREAK slot: only ECALL's word is legal
+        0b01 << 25 | 0x53,                 // OP-FP fmt=01: the absent binary64
+        (0b001 << 12) | 0x53,              // FADD with rm=RTZ: no such datapath
+        (0b100 << 12) | 0x03,              // LBU: integer subset has LW only
+    ];
+    for w in reserved {
+        assert!(decode(w).is_err(), "{w:#010x} should be illegal");
+    }
+}

@@ -33,7 +33,11 @@ impl Conv {
     }
 
     /// Sensor-like image: smooth gradient plus texture, values `[0, 255]`.
-    fn image(&self, input_set: usize) -> Vec<f64> {
+    ///
+    /// Public so instruction-level twins (`tp-isa`) can run on the exact
+    /// input stream the closure kernel sees for the same `input_set`.
+    #[must_use]
+    pub fn image(&self, input_set: usize) -> Vec<f64> {
         let mut rng = rng_for("CONV", input_set);
         let texture = uniform(&mut rng, self.n * self.n, -12.0, 12.0);
         let mut img = vec![0.0f64; self.n * self.n];
@@ -64,7 +68,11 @@ impl Conv {
     }
 
     /// A normalized blur-like 5×5 filter with mild asymmetry.
-    fn filter(&self, input_set: usize) -> Vec<f64> {
+    ///
+    /// Public for the same reason as [`Conv::image`]: shared input
+    /// plumbing with the instruction-level twin.
+    #[must_use]
+    pub fn filter(&self, input_set: usize) -> Vec<f64> {
         let mut w = vec![0.0f64; K * K];
         let mut sum = 0.0;
         for r in 0..K {

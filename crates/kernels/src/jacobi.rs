@@ -40,7 +40,13 @@ impl Jacobi {
         }
     }
 
-    fn initial_grid(&self, input_set: usize) -> Vec<f64> {
+    /// The initial temperature grid (fixed hot/cold boundaries, interior
+    /// noise) for `input_set`.
+    ///
+    /// Public so instruction-level twins (`tp-isa`) can run on the exact
+    /// input stream the closure kernel sees for the same `input_set`.
+    #[must_use]
+    pub fn initial_grid(&self, input_set: usize) -> Vec<f64> {
         let n = self.n;
         let mut rng = rng_for("JACOBI", input_set);
         let mut grid = vec![0.0f64; n * n];

@@ -139,8 +139,9 @@ pub fn default_registry() -> Registry {
 }
 
 /// The shared default registry: [`default_registry`] built once. This is
-/// what [`all_kernels`], [`kernel_by_name`], the bench harness and the
-/// `tp-serve` default resolver consult.
+/// what [`all_kernels`], the bench harness and the `tp-serve` default
+/// resolver consult; resolve request spellings through
+/// [`Registry::resolve`] (`"CONV"`, `"conv:small"`, …).
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(default_registry)
@@ -159,58 +160,45 @@ pub fn all_kernels_small() -> Vec<Box<dyn Tunable>> {
     registry().suite(SizeVariant::Small)
 }
 
-/// Resolves a kernel by its request spelling: the kernel name (`"CONV"`,
-/// case-insensitive), optionally suffixed with a size variant —
-/// `"CONV:paper"` (the default) or `"CONV:small"`. Returns `None` for
-/// unknown names or variants.
-///
-/// This is a thin shim over [`registry().resolve(spec)`](Registry::resolve),
-/// kept for callers written against the original closed lookup; new code
-/// should resolve through the [`registry`] (or its own [`Registry`]) so
-/// user-registered kernels are visible too. The spec grammar is unchanged:
-/// the two size variants of a kernel share a display name but declare
-/// different variable element counts, so they key to *different* tuning
-/// jobs.
-#[must_use]
-pub fn kernel_by_name(spec: &str) -> Option<Box<dyn Tunable>> {
-    registry().resolve(spec)
-}
-
 #[cfg(test)]
 mod registry_tests {
     use super::*;
 
     #[test]
-    fn kernel_by_name_resolves_every_suite_member() {
+    fn registry_resolves_every_suite_member() {
         for k in all_kernels() {
-            let by_name = kernel_by_name(k.name()).unwrap_or_else(|| panic!("{}", k.name()));
+            let by_name = registry()
+                .resolve(k.name())
+                .unwrap_or_else(|| panic!("{}", k.name()));
             assert_eq!(by_name.name(), k.name());
             // Default variant is the paper size: identical variable set.
             assert_eq!(by_name.variables(), k.variables());
         }
         for k in all_kernels_small() {
             let spec = format!("{}:small", k.name());
-            let by_name = kernel_by_name(&spec).unwrap_or_else(|| panic!("{spec}"));
+            let by_name = registry()
+                .resolve(&spec)
+                .unwrap_or_else(|| panic!("{spec}"));
             assert_eq!(by_name.variables(), k.variables());
         }
     }
 
     #[test]
-    fn kernel_by_name_is_case_insensitive_and_strict_on_variants() {
-        assert!(kernel_by_name("conv").is_some());
-        assert!(kernel_by_name("Conv:small").is_some());
-        assert!(kernel_by_name("blackscholes:small").is_some());
-        assert!(kernel_by_name("CONV:big").is_none());
-        assert!(kernel_by_name("GEMM:SMALL").is_none());
-        assert!(kernel_by_name("LU").is_none());
-        assert!(kernel_by_name("").is_none());
+    fn resolve_is_case_insensitive_and_strict_on_variants() {
+        assert!(registry().resolve("conv").is_some());
+        assert!(registry().resolve("Conv:small").is_some());
+        assert!(registry().resolve("blackscholes:small").is_some());
+        assert!(registry().resolve("CONV:big").is_none());
+        assert!(registry().resolve("GEMM:SMALL").is_none());
+        assert!(registry().resolve("LU").is_none());
+        assert!(registry().resolve("").is_none());
     }
 
     #[test]
     fn size_variants_declare_different_jobs() {
         for name in ["CONV", "GEMM", "FFT", "MLP", "BLACKSCHOLES"] {
-            let paper = kernel_by_name(name).unwrap();
-            let small = kernel_by_name(&format!("{name}:small")).unwrap();
+            let paper = registry().resolve(name).unwrap();
+            let small = registry().resolve(&format!("{name}:small")).unwrap();
             assert_ne!(paper.variables(), small.variables(), "{name}");
         }
     }

@@ -29,7 +29,7 @@
 //! large one on a vectorized kernel quantifies exactly what SIMD packing
 //! and stall-hiding buy.
 
-use flexfloat::TraceCounts;
+use flexfloat::{OpKind, TraceCounts};
 use tp_fpu::MeasuredStats;
 
 use crate::params::PlatformParams;
@@ -81,6 +81,36 @@ impl CrossReport {
         }
         self.cycle_delta() as f64 / self.analytic_fp_cycles as f64
     }
+}
+
+/// The latency cycles a *scalar* instruction stream's measured account
+/// contains but the analytic pipeline model hides.
+///
+/// Every scalar add/sub/mul in a two-cycle format (16 bits and wider) costs
+/// the `SmallFloatUnit` two result cycles, while the analytic model charges
+/// one issue cycle and only surfaces the second as a stall when the very
+/// next operation consumes the result. The difference — two-cycle scalar
+/// add/sub/mul operations minus the scalar dependent pairs in those
+/// formats — is therefore exactly the [`CrossReport::cycle_delta`] of an
+/// unvectorized run whose dependent pairs are all produced by add/sub/mul
+/// (divisions, square roots and FMAs are emulation-charged identically on
+/// both sides, so they never contribute). For a binary8-only stream the
+/// value is 0 and the two accounts must match to the cycle.
+#[must_use]
+pub fn scalar_hidden_latency_cycles(counts: &TraceCounts) -> i64 {
+    let mut two_cycle_ops: i64 = 0;
+    for (&(fmt, kind), oc) in &counts.ops {
+        if crate::cycles::two_cycle(fmt) && matches!(kind, OpKind::AddSub | OpKind::Mul) {
+            two_cycle_ops += oc.scalar as i64;
+        }
+    }
+    let mut hidden_pairs: i64 = 0;
+    for (&fmt, oc) in &counts.dependent_pairs {
+        if crate::cycles::two_cycle(fmt) {
+            hidden_pairs += oc.scalar as i64;
+        }
+    }
+    two_cycle_ops - hidden_pairs
 }
 
 /// Builds the measured-vs-analytic comparison for one execution: `measured`
@@ -182,6 +212,34 @@ mod tests {
         );
         // The analytic model charges the identical issue cycles.
         assert_eq!(r.measured_total(), r.analytic_fp_cycles);
+    }
+
+    #[test]
+    fn hidden_latency_explains_the_scalar_delta() {
+        // A 16-bit chain: three two-cycle ops, two dependent pairs surfaced
+        // as analytic stalls, so one latency cycle stays hidden — and the
+        // helper must predict the cross-validation delta exactly.
+        let (measured, counts) = run_both(|| {
+            let a = Fx::new(1.5, BINARY16);
+            let b = Fx::new(0.25, BINARY16);
+            let c = a + b;
+            let d = c * b; // dependent on the add
+            let _ = a - d; // also dependent (pair #2)
+        });
+        let r = cross_validate(&measured, &counts, &PlatformParams::paper());
+        assert_eq!(scalar_hidden_latency_cycles(&counts), 1);
+        assert_eq!(r.cycle_delta(), scalar_hidden_latency_cycles(&counts));
+    }
+
+    #[test]
+    fn binary8_streams_have_no_hidden_latency() {
+        let (_, counts) = run_both(|| {
+            let a = Fx::new(1.5, BINARY8);
+            let b = Fx::new(0.25, BINARY8);
+            let c = a + b;
+            let _ = c * b;
+        });
+        assert_eq!(scalar_hidden_latency_cycles(&counts), 0);
     }
 
     #[test]

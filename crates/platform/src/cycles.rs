@@ -51,7 +51,7 @@ fn issue_cycles(params: &PlatformParams, kind: OpKind) -> u64 {
 }
 
 /// `true` when results of this format take two cycles (one pipeline stage).
-fn two_cycle(fmt: FpFormat) -> bool {
+pub(crate) fn two_cycle(fmt: FpFormat) -> bool {
     fmt.total_bits() >= 16
 }
 

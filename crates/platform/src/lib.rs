@@ -41,7 +41,7 @@ mod energy;
 mod memory;
 mod params;
 
-pub use cross::{cross_validate, CrossReport};
+pub use cross::{cross_validate, scalar_hidden_latency_cycles, CrossReport};
 pub use cycles::{cycle_report, CycleReport};
 pub use energy::{energy_report, EnergyReport};
 pub use memory::{memory_report, MemoryReport};

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use tp_kernels::kernel_by_name;
+use tp_kernels::registry;
 use tp_serve::test_util::counting_resolver;
 use tp_serve::{Client, KernelResolver, ServeConfig, Server, ServerStats};
 use tp_store::test_util::TempDir;
@@ -89,7 +89,7 @@ fn served_result_matches_direct_library_call() {
     handle.join().unwrap();
 
     // The cold direct library call, at a different worker count.
-    let app = kernel_by_name("DWT:small").unwrap();
+    let app = registry().resolve("DWT:small").unwrap();
     let direct = tp_bench::tuned_record(
         app.as_ref(),
         tp_tuner::SearchParams::paper(1e-2).with_workers(1),
@@ -164,7 +164,9 @@ fn bounded_queue_refuses_excess_submissions() {
                 self.0.run(config, set)
             }
         }
-        kernel_by_name(spec).map(|k| Box::new(Slow(k)) as Box<dyn Tunable>)
+        registry()
+            .resolve(spec)
+            .map(|k| Box::new(Slow(k)) as Box<dyn Tunable>)
     });
     let (addr, handle) = spawn_server(ServeConfig {
         resolver: inner_resolver,
@@ -275,7 +277,7 @@ fn failed_jobs_report_and_can_be_retried() {
                 self.inner.run(config, set)
             }
         }
-        kernel_by_name(spec).map(|inner| {
+        registry().resolve(spec).map(|inner| {
             Box::new(FlakyOnce {
                 inner,
                 attempts: counter.clone(),
@@ -413,7 +415,9 @@ fn draining_server_refuses_new_submissions() {
                 self.0.run(config, set)
             }
         }
-        kernel_by_name(spec).map(|k| Box::new(Slow(k)) as Box<dyn Tunable>)
+        registry()
+            .resolve(spec)
+            .map(|k| Box::new(Slow(k)) as Box<dyn Tunable>)
     });
     let (addr, handle) = spawn_server(ServeConfig {
         resolver: inner_resolver,

@@ -48,6 +48,43 @@ pub struct MeasuredStats {
     pub off_grid_ops: u64,
 }
 
+impl MeasuredStats {
+    /// Total retired FP instructions: every backend operation counts in
+    /// exactly one bucket (unit-executed, software-emulated, comparison,
+    /// or off-grid), so the sum is the retired-instruction count an
+    /// instruction-stream frontend can reconcile against — `tp-isa`'s
+    /// `RunStats::backend_fp_ops` equals this by construction.
+    #[must_use]
+    pub fn retired_fp_instructions(&self) -> u64 {
+        self.fpu.instructions
+            + self.emulated_div
+            + self.emulated_sqrt
+            + self.emulated_fma
+            + self.cmp_ops
+            + self.off_grid_ops
+    }
+
+    /// The statistics accumulated since `baseline` (a snapshot taken from
+    /// the same backend earlier). Counters are cumulative, so this is
+    /// field-wise subtraction — the per-run accounting hook harnesses use
+    /// to attribute measurements to one kernel run on a shared backend.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &MeasuredStats) -> MeasuredStats {
+        MeasuredStats {
+            fpu: crate::unit::FpuStats {
+                instructions: self.fpu.instructions - baseline.fpu.instructions,
+                total_latency: self.fpu.total_latency - baseline.fpu.total_latency,
+                total_energy_pj: self.fpu.total_energy_pj - baseline.fpu.total_energy_pj,
+            },
+            emulated_div: self.emulated_div - baseline.emulated_div,
+            emulated_sqrt: self.emulated_sqrt - baseline.emulated_sqrt,
+            emulated_fma: self.emulated_fma - baseline.emulated_fma,
+            cmp_ops: self.cmp_ops - baseline.cmp_ops,
+            off_grid_ops: self.off_grid_ops - baseline.off_grid_ops,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     unit: SmallFloatUnit,
@@ -225,6 +262,11 @@ impl FpBackend for FpuModel {
         ops::le(fmt, enc(fmt, a), enc(fmt, b))
     }
 
+    fn eq(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
+        self.lock().counts.cmp_ops += 1;
+        ops::eq(fmt, enc(fmt, a), enc(fmt, b))
+    }
+
     fn flags(&self) -> FlagSet {
         FlagSet::NONE // the unit model does not expose fflags (yet)
     }
@@ -289,6 +331,45 @@ mod tests {
         assert_eq!(s.fpu.total_latency, 2 + 2 + 1);
         fpu.reset();
         assert_eq!(fpu.stats(), MeasuredStats::default());
+    }
+
+    #[test]
+    fn retired_instruction_hooks_cover_every_bucket() {
+        let fpu = Arc::new(FpuModel::new());
+        Engine::with(fpu.clone(), || {
+            let a = Fx::new(1.5, BINARY16);
+            let b = Fx::new(0.5, BINARY16);
+            let _ = a + b; // unit
+            let _ = a / b; // emulated div
+            let _ = a.lt(b); // cmp
+        });
+        let mid = fpu.stats();
+        assert_eq!(mid.retired_fp_instructions(), 3);
+        Engine::with(fpu.clone(), || {
+            let a = Fx::new(2.0, BINARY8);
+            let _ = a.sqrt(); // emulated sqrt
+            let _ = a * a; // unit
+        });
+        let end = fpu.stats();
+        assert_eq!(end.retired_fp_instructions(), 5);
+        let delta = end.delta_since(&mid);
+        assert_eq!(delta.retired_fp_instructions(), 2);
+        assert_eq!(delta.emulated_sqrt, 1);
+        assert_eq!(delta.fpu.instructions, 1);
+        assert_eq!(delta.emulated_div, 0);
+        // binary8 arithmetic is single-cycle.
+        assert_eq!(delta.fpu.total_latency, 1);
+    }
+
+    #[test]
+    fn feq_counts_as_a_comparison() {
+        use flexfloat::backend::FpBackend;
+        let fpu = FpuModel::new();
+        assert!(fpu.eq(BINARY16, 1.5, 1.5));
+        assert!(!fpu.eq(BINARY16, 1.5, 0.5));
+        assert!(!fpu.eq(BINARY16, f64::NAN, f64::NAN), "quiet: NaN != NaN");
+        assert!(fpu.eq(BINARY16, 0.0, -0.0), "-0 == +0");
+        assert_eq!(fpu.stats().cmp_ops, 4);
     }
 
     #[test]

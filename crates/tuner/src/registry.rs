@@ -120,8 +120,8 @@ struct Entry {
 /// * **Ordered**: iteration ([`names`](Registry::names),
 ///   [`suite`](Registry::suite)) follows registration order, so suite
 ///   reports and fan-out budgets stay deterministic.
-/// * **Case-insensitive**: lookups fold ASCII case, matching the historic
-///   `kernel_by_name` behaviour (`"conv"` resolves to `"CONV"`).
+/// * **Case-insensitive**: lookups fold ASCII case (`"conv"` resolves to
+///   `"CONV"`).
 /// * **Open**: `tp_kernels::default_registry()` returns one pre-populated
 ///   with the built-in suite; callers may keep registering their own
 ///   workloads on top and hand the result to `tp-serve` via a custom

@@ -12,7 +12,7 @@
 use std::sync::atomic::Ordering;
 
 use tp_bench::{evaluate_app_in, tuned_record};
-use tp_kernels::kernel_by_name;
+use tp_kernels::registry;
 use tp_platform::PlatformParams;
 use tp_serve::test_util::counting_resolver;
 use tp_serve::{Client, ServeConfig, Server};
@@ -106,7 +106,7 @@ fn service_acceptance_concurrent_clients_warm_store_zero_evaluations() {
                 .unwrap()
                 .parse()
                 .unwrap();
-            let app = kernel_by_name(app_spec).unwrap();
+            let app = registry().resolve(app_spec).unwrap();
             let direct = tuned_record(
                 app.as_ref(),
                 SearchParams::paper(threshold).with_workers(workers),
