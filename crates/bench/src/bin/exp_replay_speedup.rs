@@ -53,4 +53,6 @@ fn main() {
     } else {
         println!("WARNING: straight-line mean batched/live {mean:.2}x above {BATCHED_TARGET}x");
     }
+
+    tp_bench::maybe_emit_metrics();
 }

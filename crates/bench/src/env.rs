@@ -14,14 +14,15 @@
 //! | `TP_REPLAY_BATCH` | `on`, `off` | `on` | Batched structure-of-arrays replay (`tp_tuner::replay_batch_from_env`); decision-transparent, perf only |
 //! | `TP_STORE_DIR` | directory path | unset (store off) | Persistent tuning-result store root; set it and warm runs skip the search |
 //! | `TP_STORE_CAP` | bytes, with optional `K`/`M`/`G` suffix | `256M` | Store eviction cap (LRU beyond it) |
+//! | `TP_METRICS` | `off`, `on`, `json`, `prom` | `off` | Metrics collection (`tp_obs`); `json`/`prom` also make harness binaries print a snapshot at exit. Observational only — never affects results or `JobKey`s |
 //!
-//! Two of the knobs are *dispatch-site* parsed by lower crates that
+//! Some of the knobs are *dispatch-site* parsed by lower crates that
 //! cannot depend on this one (`TP_BACKEND` folds into the thread's
 //! backend slot inside `flexfloat`; `TP_WORKERS` resolves inside
-//! `tp_tuner::pool`), with identical spellings and the same fail-fast
-//! contract. This module re-exposes them so harnesses — the `exp_*`
-//! binaries and the `tp-serve` daemon — can resolve, validate and print
-//! the whole configuration up front.
+//! `tp_tuner::pool`; `TP_METRICS` inside `tp_obs`), with identical
+//! spellings and the same fail-fast contract. This module re-exposes
+//! them so harnesses — the `exp_*` binaries and the `tp-serve` daemon —
+//! can resolve, validate and print the whole configuration up front.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -46,13 +47,15 @@ pub struct EnvConfig {
     pub store_dir: Option<PathBuf>,
     /// The store eviction cap in bytes (`TP_STORE_CAP`).
     pub store_cap: u64,
+    /// The metrics mode (`TP_METRICS` / off).
+    pub metrics: tp_obs::MetricsMode,
 }
 
 impl std::fmt::Display for EnvConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "backend={} workers={} mode={} batch={} store={}",
+            "backend={} workers={} mode={} batch={} store={} metrics={}",
             self.backend,
             self.workers,
             self.mode,
@@ -60,7 +63,8 @@ impl std::fmt::Display for EnvConfig {
             match &self.store_dir {
                 Some(dir) => format!("{} (cap {} bytes)", dir.display(), self.store_cap),
                 None => "off".to_owned(),
-            }
+            },
+            self.metrics
         )
     }
 }
@@ -77,7 +81,17 @@ pub fn config() -> EnvConfig {
         replay_batch: replay_batch(),
         store_dir: store_dir(),
         store_cap: store_cap(),
+        metrics: metrics_mode(),
     }
+}
+
+/// The effective metrics mode: `TP_METRICS` (`off`/`on`/`json`/`prom`,
+/// unknown values panic — resolved dispatch-site in `tp_obs`), default
+/// off. Observational by contract: results, `TraceCounts` and `JobKey`s
+/// are identical under every mode.
+#[must_use]
+pub fn metrics_mode() -> tp_obs::MetricsMode {
+    tp_obs::MetricsMode::from_env()
 }
 
 /// The backend `TP_BACKEND` names, if set. The actual dispatch-site
@@ -242,5 +256,6 @@ mod tests {
         assert!(!cfg.backend.is_empty());
         let shown = cfg.to_string();
         assert!(shown.contains("workers="), "{shown}");
+        assert!(shown.contains("metrics="), "{shown}");
     }
 }

@@ -27,6 +27,29 @@ use tp_tuner::{
 
 pub use jsonout::{results_to_json, want_json};
 
+/// Emits the process's metrics snapshot to stdout if `TP_METRICS` asked
+/// for an at-exit format: one `METRICS <json>` line for `json`,
+/// a Prometheus text block between `METRICS-PROM-BEGIN`/`-END` markers
+/// for `prom`, nothing for `off`/`on`. Harness binaries (`exp_*`) call
+/// this last, after their regular output, so CI can harvest the snapshot
+/// without disturbing the human-readable tables.
+pub fn maybe_emit_metrics() {
+    match tp_obs::mode() {
+        tp_obs::MetricsMode::Json => {
+            let snap = tp_obs::snapshot();
+            println!("METRICS {}", tp_store::metrics_json(&snap).to_json());
+        }
+        tp_obs::MetricsMode::Prom => {
+            let snap = tp_obs::snapshot();
+            print!(
+                "METRICS-PROM-BEGIN\n{}METRICS-PROM-END\n",
+                tp_obs::render_prometheus(&snap)
+            );
+        }
+        tp_obs::MetricsMode::Off | tp_obs::MetricsMode::On => {}
+    }
+}
+
 /// The three output-quality thresholds of the evaluation
 /// (the paper's `SQNR = 10⁻¹, 10⁻², 10⁻³`).
 pub const THRESHOLDS: [f64; 3] = [1e-1, 1e-2, 1e-3];

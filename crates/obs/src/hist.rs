@@ -1,0 +1,294 @@
+//! Log2-bucketed latency histograms with exact quantile *bounds*.
+//!
+//! A [`Hist`] spreads `u64` samples (nanoseconds, by convention) over 65
+//! power-of-two buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
+//! holds `2^(i-1) ..= 2^i - 1` (the last bucket's upper edge saturates at
+//! `u64::MAX`). Bucket membership is a `leading_zeros` — no search, no
+//! float math on the record path — and bucket edges are process-invariant
+//! constants, so histograms recorded on different threads (or machines)
+//! [`merge`](Hist::merge) exactly like
+//! [`TraceCounts`](https://docs.rs/) merge in `flexfloat`: the operation
+//! is commutative and associative, and a merged histogram is
+//! bit-identical to one that saw every sample itself.
+//!
+//! Quantiles come from bucket edges: [`Hist::quantile_upper_bound`]
+//! returns the upper edge of the bucket containing the requested rank.
+//! That is an exact *bound* — the true quantile is `≤` the returned value
+//! and, because buckets are factor-of-two wide, `>` half of it (when
+//! nonzero) — rather than an interpolated estimate that would depend on
+//! in-bucket distribution assumptions.
+//!
+//! All tallies saturate instead of wrapping: an observability counter
+//! that overflows into a small number would lie, one pinned at
+//! `u64::MAX` is visibly saturated.
+
+/// Number of buckets: one for zero plus one per power of two up to 2^63.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (nanoseconds by
+/// convention). See the module docs above for the bucket layout and
+/// the merge/quantile contracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKET_COUNT],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// The bucket index a sample lands in: 0 for the value zero, otherwise
+/// `floor(log2(v)) + 1`.
+#[must_use]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive upper edge of bucket `i` (saturating at `u64::MAX` for
+/// the last bucket).
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < BUCKET_COUNT, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else if i == BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Hist {
+        Hist {
+            counts: [0; BUCKET_COUNT],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let i = bucket_index(value);
+        self.counts[i] = self.counts[i].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of samples recorded (saturating).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` when no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds `other` into `self`. Commutative and associative (all
+    /// tallies are saturating element-wise sums over fixed bucket
+    /// edges), exactly like `TraceCounts::merge` — the property the
+    /// thread-sharded recording design leans on.
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The exact upper bound of the `q`-quantile (`0.0 < q <= 1.0`): the
+    /// upper edge of the bucket containing the `ceil(q * count)`-th
+    /// smallest sample. Returns 0 for an empty histogram. The true
+    /// quantile value is always `<=` this bound, and `>` `bound / 2`
+    /// when the bound is nonzero (factor-of-two buckets).
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        // ceil without float rounding surprises at large counts: the
+        // product is exact for every count below 2^52, and a rank clamped
+        // into [1, total] is always a valid target.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        // Unreachable while total == Σ counts; kept total-safe under
+        // saturation by answering with the last occupied bucket.
+        bucket_upper_bound(
+            self.counts
+                .iter()
+                .rposition(|&n| n > 0)
+                .unwrap_or(BUCKET_COUNT - 1),
+        )
+    }
+
+    /// A self-contained copy for export: non-empty buckets only, plus
+    /// the p50/p99/p999 bounds read off the bucket edges.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.total,
+            sum: self.sum,
+            p50: self.quantile_upper_bound(0.50),
+            p99: self.quantile_upper_bound(0.99),
+            p999: self.quantile_upper_bound(0.999),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (bucket_upper_bound(i), n))
+                .collect(),
+        }
+    }
+}
+
+/// An exported view of one [`Hist`]: totals, quantile bounds, and the
+/// `(inclusive upper edge, count)` pairs of every non-empty bucket in
+/// ascending edge order. This is what the JSON and Prometheus renderings
+/// serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples (saturating).
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Upper bound of the 50th percentile.
+    pub p50: u64,
+    /// Upper bound of the 99th percentile.
+    pub p99: u64,
+    /// Upper bound of the 99.9th percentile.
+    pub p999: u64,
+    /// `(upper edge, count)` per non-empty bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value is <= its bucket's upper edge and, when nonzero,
+        // > the previous bucket's edge.
+        for v in [0u64, 1, 2, 3, 4, 5, 1023, 1024, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "{v}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile() {
+        let mut h = Hist::new();
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 7).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * 1000.0_f64).ceil() as usize).clamp(1, 1000);
+            let truth = samples[rank - 1];
+            let bound = h.quantile_upper_bound(q);
+            assert!(truth <= bound, "q={q}: {truth} > bound {bound}");
+            assert!(
+                truth > bound / 2,
+                "q={q}: bound {bound} too loose for {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_seeing_every_sample() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for v in [0u64, 1, 5, 100, 1 << 20] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 5, 7 << 30] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all, "merge must be commutative");
+    }
+
+    #[test]
+    fn saturation_pins_at_max() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        let mut big = h.clone();
+        for _ in 0..4 {
+            let other = big.clone();
+            big.merge(&other);
+        }
+        // sum saturates rather than wrapping around through small values.
+        assert_eq!(big.sum(), u64::MAX);
+        assert!(big.count() >= 16);
+    }
+
+    #[test]
+    fn snapshot_carries_edges_and_quantiles() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 1, 300] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 302);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (511, 1)]);
+        assert_eq!(s.p50, 1);
+        assert_eq!(s.p999, 511);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_quantile_is_rejected() {
+        let _ = Hist::new().quantile_upper_bound(0.0);
+    }
+}

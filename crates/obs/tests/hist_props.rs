@@ -1,0 +1,118 @@
+//! Property tests for the log2-bucket histogram: merge algebra,
+//! quantile-bound invariants, and saturation behavior.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tp_obs::{bucket_upper_bound, Hist, BUCKET_COUNT};
+
+fn hist_of(samples: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Samples that exercise every bucket scale: small ints, values near
+/// power-of-two edges, and full-range values.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (1u32..64).prop_map(|shift| (1u64 << shift) - 1),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(a in vec(sample(), 0..40),
+                            b in vec(sample(), 0..40)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_one_pass(
+        a in vec(sample(), 0..30),
+        b in vec(sample(), 0..30),
+        c in vec(sample(), 0..30),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Both equal the histogram that saw every sample directly.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_bound_brackets_the_true_quantile(
+        samples in vec(sample(), 1..200),
+        q in prop_oneof![Just(0.5f64), Just(0.9), Just(0.99), Just(0.999), Just(1.0)],
+    ) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let bound = h.quantile_upper_bound(q);
+        // The bound is an upper bound on the true quantile...
+        prop_assert!(truth <= bound, "true {truth} above bound {bound}");
+        // ...and tight to within the factor-of-two bucket width.
+        if bound > 0 {
+            prop_assert!(truth > bound / 2, "bound {bound} too loose for {truth}");
+        }
+        // And it is always an actual bucket edge.
+        prop_assert!((0..BUCKET_COUNT).any(|i| bucket_upper_bound(i) == bound));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(samples in vec(sample(), 1..100)) {
+        let h = hist_of(&samples);
+        let p50 = h.quantile_upper_bound(0.5);
+        let p99 = h.quantile_upper_bound(0.99);
+        let p999 = h.quantile_upper_bound(0.999);
+        let p100 = h.quantile_upper_bound(1.0);
+        prop_assert!(p50 <= p99 && p99 <= p999 && p999 <= p100);
+    }
+
+    #[test]
+    fn count_and_sum_track_samples(samples in vec(0u64..1 << 40, 0..100)) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.is_empty(), samples.is_empty());
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, h.count());
+        prop_assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn saturation_never_wraps(reps in 1usize..8) {
+        // Repeated self-merge of a max-value histogram doubles tallies
+        // until they pin at u64::MAX; nothing wraps through zero.
+        let mut h = hist_of(&[u64::MAX, u64::MAX]);
+        for _ in 0..reps {
+            let other = h.clone();
+            h.merge(&other);
+        }
+        prop_assert_eq!(h.sum(), u64::MAX);
+        prop_assert!(h.count() >= 2);
+        prop_assert_eq!(h.quantile_upper_bound(0.999), u64::MAX);
+    }
+}

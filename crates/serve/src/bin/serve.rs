@@ -76,21 +76,25 @@ fn run() -> Result<(), String> {
     // Print the budget actually in effect (--workers resolved), not the
     // machine/env default.
     let workers_total = tp_tuner::resolve_workers(config.total_workers);
+    // Resolve TP_METRICS up front so a bad value fails at startup, not on
+    // the first instrumented request.
+    let metrics = tp_bench::env::metrics_mode();
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "tp-serve config: concurrency={concurrency} workers-total={workers_total} store: {store_desc}"
+        "tp-serve config: concurrency={concurrency} workers-total={workers_total} metrics={metrics} store: {store_desc}"
     );
     println!("tp-serve listening on {}", server.local_addr());
     let stats = server.run();
     println!(
-        "tp-serve stopped: submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={}",
+        "tp-serve stopped: submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={} queue_hwm={}",
         stats.submitted,
         stats.deduped,
         stats.rejected,
         stats.completed,
         stats.failed,
         stats.store_hits,
-        stats.store_misses
+        stats.store_misses,
+        stats.queue_hwm
     );
     Ok(())
 }

@@ -5,6 +5,7 @@
 //! tp_client --addr HOST:PORT status <key>
 //! tp_client --addr HOST:PORT result <key> [--wait] [--json]
 //! tp_client --addr HOST:PORT list
+//! tp_client --addr HOST:PORT stats [--json]
 //! tp_client --addr HOST:PORT shutdown
 //! tp_client direct app=<kernel> threshold=<f64> [field=value…] [--json]
 //! ```
@@ -16,6 +17,12 @@
 //! CI diffs the two to assert served results are bit-identical to direct
 //! library calls. `--json` swaps the summary for the full record in the
 //! shared tp-store JSON schema.
+//!
+//! `stats` fetches the server's `STATS` snapshot and prints greppable
+//! lines: server counters, the store report (`store hits=… misses=…`),
+//! and — when the server runs with `TP_METRICS` on — per-frame-type
+//! latency (`latency SUBMIT count=… p50<=…ns p99<=…ns p999<=…ns`).
+//! `stats --json` prints the raw snapshot instead.
 
 use std::process::ExitCode;
 
@@ -88,6 +95,16 @@ fn run() -> Result<(), String> {
             println!("{}", connect(&addr)?.list().map_err(stringify)?);
             Ok(())
         }
+        "stats" => {
+            let addr = addr.ok_or("stats needs --addr")?;
+            let raw = connect(&addr)?.stats().map_err(stringify)?;
+            if json {
+                println!("{raw}");
+            } else {
+                print!("{}", render_stats(&raw)?);
+            }
+            Ok(())
+        }
         "shutdown" => {
             let addr = addr.ok_or("shutdown needs --addr")?;
             println!("{}", connect(&addr)?.shutdown().map_err(stringify)?);
@@ -116,6 +133,7 @@ fn run() -> Result<(), String> {
                 "tp_client --addr HOST:PORT submit app=<kernel> threshold=<f64> [field=value...] [--wait] [--json]\n\
                  tp_client --addr HOST:PORT status|result <key> [--wait] [--json]\n\
                  tp_client --addr HOST:PORT list|shutdown\n\
+                 tp_client --addr HOST:PORT stats [--json]\n\
                  tp_client direct app=<kernel> threshold=<f64> [field=value...] [--json]"
             );
             Ok(())
@@ -130,6 +148,69 @@ fn connect(addr: &str) -> Result<Client, String> {
 
 fn stringify(e: std::io::Error) -> String {
     e.to_string()
+}
+
+/// Renders the `STATS` JSON as stable, greppable lines (see the module
+/// docs). Unknown/missing sections are skipped, not errors — the payload
+/// shape may grow.
+fn render_stats(raw: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    use tp_store::json::Value;
+    let payload = Value::parse(raw).map_err(|e| format!("bad STATS payload: {e}"))?;
+    let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_num).unwrap_or(0);
+    let mut out = String::new();
+    if let Some(server) = payload.get("server") {
+        let _ = writeln!(
+            out,
+            "server submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={} queue_depth={} queue_hwm={}",
+            num(server, "submitted"),
+            num(server, "deduped"),
+            num(server, "rejected"),
+            num(server, "completed"),
+            num(server, "failed"),
+            num(server, "store_hits"),
+            num(server, "store_misses"),
+            num(server, "queue_depth"),
+            num(server, "queue_hwm"),
+        );
+    }
+    if let Some(store) = payload.get("store") {
+        if store.get("enabled").and_then(Value::as_bool) == Some(true) {
+            let _ = writeln!(
+                out,
+                "store hits={} misses={} evictions={} corrupt_quarantined={} entries={} bytes={}",
+                num(store, "hits"),
+                num(store, "misses"),
+                num(store, "evictions"),
+                num(store, "corrupt_quarantined"),
+                num(store, "entries"),
+                num(store, "bytes"),
+            );
+        } else {
+            let _ = writeln!(out, "store off");
+        }
+    }
+    let mode = payload
+        .get("metrics_mode")
+        .and_then(Value::as_str)
+        .unwrap_or("off");
+    let _ = writeln!(out, "metrics mode={mode}");
+    if let Some(Value::Obj(hists)) = payload.get("metrics").and_then(|m| m.get("hists")) {
+        for (name, hist) in hists {
+            let Some(verb) = name.strip_prefix("serve.request_ns.") else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "latency {verb} count={} p50<={}ns p99<={}ns p999<={}ns",
+                num(hist, "count"),
+                num(hist, "p50"),
+                num(hist, "p99"),
+                num(hist, "p999"),
+            );
+        }
+    }
+    Ok(out)
 }
 
 fn print_record(record: &tp_store::TuningRecord, json: bool) {

@@ -113,6 +113,20 @@ impl Client {
         self.call("LIST")
     }
 
+    /// `STATS`: the server's observability snapshot as raw JSON text
+    /// (parse with [`tp_store::json::Value::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or `ERR` responses.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let response = self.call("STATS")?;
+        response
+            .strip_prefix("OK ")
+            .map(str::to_owned)
+            .ok_or_else(|| io::Error::other(response.clone()))
+    }
+
     /// `SHUTDOWN`: graceful drain; returns the server's `BYE` stats line.
     ///
     /// # Errors

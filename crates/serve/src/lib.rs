@@ -7,7 +7,7 @@
 //!
 //! * a multi-client daemon on [`std::net::TcpListener`] speaking a
 //!   length-prefixed line protocol ([`proto`]: `SUBMIT` / `STATUS` /
-//!   `RESULT` / `LIST` / `SHUTDOWN`);
+//!   `RESULT` / `LIST` / `STATS` / `SHUTDOWN`);
 //! * a bounded FIFO job queue with **single-flight deduplication**:
 //!   identical in-flight [`JobKey`](tp_store::JobKey)s share one search;
 //! * worker threads whose per-job tuner budget is split
@@ -17,7 +17,11 @@
 //!   search *ever* — across clients, server restarts and machines
 //!   sharing a store directory;
 //! * graceful drain on `SHUTDOWN`: queued jobs finish, every accepted
-//!   request is answered, then the process exits cleanly.
+//!   request is answered, then the process exits cleanly;
+//! * a live observability plane: `STATS` returns the server counters,
+//!   the [`tp_store::Store`] report and — when `TP_METRICS` is on — the
+//!   full `tp_obs` snapshot (per-frame-type latency histograms, queue
+//!   gauges) as one JSON document.
 //!
 //! Binaries: `serve` (the daemon) and `tp_client` (submit/query/shutdown
 //! plus a `direct` mode that computes the same record in-process, so CI

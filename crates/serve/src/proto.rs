@@ -23,6 +23,7 @@
 //! | `STATUS` | `STATUS <key>` | `OK <state>` / `ERR unknown-key` |
 //! | `RESULT` | `RESULT <key> [wait]` | `OK cache_hit=<0\|1>\n<record JSON>` / `PENDING` / `ERR …` |
 //! | `LIST` | `LIST` | `OK n=<jobs> <stats…>` then one `<key> <state> <app> kernel=<NAME:variant> threshold=<t>` line per job |
+//! | `STATS` | `STATS` | `OK <stats JSON>`: server counters + queue depth/HWM, the store's hit/miss/eviction/quarantine report, and (when `TP_METRICS` is on) the full metrics snapshot |
 //! | `SHUTDOWN` | `SHUTDOWN` | `BYE <stats…>` after a graceful drain |
 //!
 //! States are `queued`, `running`, `done`, `failed`. The record JSON is
@@ -123,8 +124,27 @@ pub enum Request {
     },
     /// Enumerate jobs and server statistics.
     List,
+    /// Fetch the observability snapshot (counters, queue depth, store
+    /// report, latency histograms) as JSON.
+    Stats,
     /// Drain the queue and stop the server.
     Shutdown,
+}
+
+impl Request {
+    /// The request's verb name — the per-frame-type label of the
+    /// `serve.request_ns.<VERB>` latency histograms.
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Submit(_) => "SUBMIT",
+            Request::Status(_) => "STATUS",
+            Request::Result { .. } => "RESULT",
+            Request::List => "LIST",
+            Request::Stats => "STATS",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
 }
 
 /// The `SUBMIT` verb's fields.
@@ -197,6 +217,10 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
         "LIST" => {
             ensure_done(tokens)?;
             Ok(Request::List)
+        }
+        "STATS" => {
+            ensure_done(tokens)?;
+            Ok(Request::Stats)
         }
         "SHUTDOWN" => {
             ensure_done(tokens)?;
@@ -363,9 +387,32 @@ mod tests {
             }
         );
         assert_eq!(parse_request("LIST").unwrap(), Request::List);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
-        for bad in ["", "NOP", "STATUS", "RESULT", "LIST extra", "RESULT k flag"] {
+        for bad in [
+            "",
+            "NOP",
+            "STATUS",
+            "RESULT",
+            "LIST extra",
+            "STATS extra",
+            "RESULT k flag",
+        ] {
             assert!(parse_request(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn verbs_name_every_request() {
+        for (payload, verb) in [
+            ("SUBMIT app=CONV threshold=0.1", "SUBMIT"),
+            ("STATUS k", "STATUS"),
+            ("RESULT k", "RESULT"),
+            ("LIST", "LIST"),
+            ("STATS", "STATS"),
+            ("SHUTDOWN", "SHUTDOWN"),
+        ] {
+            assert_eq!(parse_request(payload).unwrap().verb(), verb);
         }
     }
 }

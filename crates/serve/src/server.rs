@@ -85,7 +85,9 @@ impl Default for ServeConfig {
     }
 }
 
-/// Aggregate counters, snapshotted into [`ServerStats`].
+/// Aggregate counters, snapshotted into [`ServerStats`]. Always on
+/// (plain relaxed/seq-cst atomics, independent of `TP_METRICS`); the
+/// same events are mirrored into `tp_obs` when metrics are enabled.
 #[derive(Debug, Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -95,6 +97,9 @@ struct Counters {
     failed: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
+    /// Deepest the queue has ever been (updated with `fetch_max` at each
+    /// push, so it is exact even under concurrent submits).
+    queue_hwm: AtomicU64,
 }
 
 /// A snapshot of the server's lifetime statistics (the `BYE`/`LIST`
@@ -115,19 +120,24 @@ pub struct ServerStats {
     pub store_hits: u64,
     /// Completed jobs that had to run the search.
     pub store_misses: u64,
+    /// Queue-depth high-water mark: the deepest the job queue ever got.
+    /// The instantaneous depth is transient; this is the number that says
+    /// whether `queue_cap` was ever close to biting.
+    pub queue_hwm: u64,
 }
 
 impl ServerStats {
     fn line(self, prefix: &str) -> String {
         format!(
-            "{prefix} submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={}",
+            "{prefix} submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={} queue_hwm={}",
             self.submitted,
             self.deduped,
             self.rejected,
             self.completed,
             self.failed,
             self.store_hits,
-            self.store_misses
+            self.store_misses,
+            self.queue_hwm
         )
     }
 }
@@ -220,6 +230,7 @@ impl Core {
             failed: c.failed.load(Ordering::SeqCst),
             store_hits: c.store_hits.load(Ordering::SeqCst),
             store_misses: c.store_misses.load(Ordering::SeqCst),
+            queue_hwm: c.queue_hwm.load(Ordering::SeqCst),
         }
     }
 
@@ -254,6 +265,7 @@ impl Core {
                 );
                 if !failed {
                     self.counters.deduped.fetch_add(1, Ordering::SeqCst);
+                    tp_obs::counter_inc("serve.deduped");
                     return Ok((key, existing.state_name()));
                 }
                 // Failed jobs are retried — but the old entry is only
@@ -275,10 +287,12 @@ impl Core {
         let mut queue = self.queue.lock().expect("queue poisoned");
         if self.draining.load(Ordering::SeqCst) {
             self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            tp_obs::counter_inc("serve.rejected_draining");
             return Err("draining".to_owned());
         }
         if queue.len() >= self.queue_cap {
             self.counters.rejected.fetch_add(1, Ordering::SeqCst);
+            tp_obs::counter_inc("serve.rejected_full");
             return Err("full".to_owned());
         }
 
@@ -310,9 +324,15 @@ impl Core {
             .expect("order poisoned")
             .push(key.as_u64());
         queue.push_back(job);
+        let depth = queue.len() as u64;
         drop(queue);
         drop(jobs);
+        // Exact even under concurrent submits: every push records its own
+        // observed depth, and max() over all observations is the true HWM.
+        self.counters.queue_hwm.fetch_max(depth, Ordering::SeqCst);
         self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        tp_obs::counter_inc("serve.submitted");
+        tp_obs::gauge_set("serve.queue_depth", depth);
         self.queue_cv.notify_one();
         Ok((key, "queued"))
     }
@@ -326,6 +346,7 @@ impl Core {
                 loop {
                     if let Some(job) = queue.pop_front() {
                         self.running.fetch_add(1, Ordering::SeqCst);
+                        tp_obs::gauge_set("serve.queue_depth", queue.len() as u64);
                         break Some(job);
                     }
                     if self.stop.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst) {
@@ -336,10 +357,14 @@ impl Core {
             };
             let Some(job) = job else { return };
             job.settle(JobState::Running);
-            let outcome = self.execute(&job);
+            let outcome = {
+                let _span = tp_obs::Span::enter("serve.job_ns");
+                self.execute(&job)
+            };
             match outcome {
                 Ok((record, cache_hit)) => {
                     self.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    tp_obs::counter_inc("serve.completed");
                     if cache_hit {
                         self.counters.store_hits.fetch_add(1, Ordering::SeqCst);
                     } else {
@@ -352,9 +377,14 @@ impl Core {
                 }
                 Err(reason) => {
                     self.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    tp_obs::counter_inc("serve.failed");
                     job.settle(JobState::Failed(reason));
                 }
             }
+            // Flush this worker's shard (job span, completion counters,
+            // and everything the search recorded on this thread) so a
+            // concurrent STATS sees settled jobs, not just exited threads.
+            tp_obs::absorb();
             // Decrement-and-notify under the queue mutex (the condvar's
             // predicate lock): a bare-atomic decrement could land between
             // drain()'s predicate check and its wait(), and the notify
@@ -507,10 +537,22 @@ fn handle_connection(core: &Core, stream: TcpStream) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return, // EOF or a broken peer
         };
-        let response = match parse_request(&payload) {
-            Err(reason) => format!("ERR {reason}"),
-            Ok(request) => respond(core, request),
+        // One enabled check per request; with metrics off no clock is read.
+        let started = tp_obs::enabled().then(std::time::Instant::now);
+        let (verb, response) = match parse_request(&payload) {
+            Err(reason) => ("INVALID", format!("ERR {reason}")),
+            Ok(request) => {
+                let verb = request.verb();
+                (verb, respond(core, request))
+            }
         };
+        if let Some(started) = started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            tp_obs::observe_ns(&format!("serve.request_ns.{verb}"), ns);
+            // Handlers are long-lived (one per connection): flush per
+            // request so a STATS on another connection sees this one.
+            tp_obs::absorb();
+        }
         let is_bye = response.starts_with("BYE");
         let written = write_frame(&mut writer, &response);
         if is_bye {
@@ -579,6 +621,54 @@ fn respond(core: &Core, request: Request) -> String {
             }
             out
         }
+        Request::Stats => format!("OK {}", stats_payload(core).to_json()),
         Request::Shutdown => core.drain().line("BYE"),
     }
+}
+
+/// The `STATS` payload: server counters + live queue depth, the store's
+/// [`tp_store::StoreReport`], and — when metrics are on — the process's
+/// `tp_obs` snapshot in the store's deterministic JSON schema. The
+/// `server` and `store` sections work with `TP_METRICS=off` too (they
+/// come from always-on atomics); only `metrics` requires collection.
+fn stats_payload(core: &Core) -> tp_store::json::Value {
+    use tp_store::json::Value;
+    let stats = core.stats();
+    let queue_depth = core.queue.lock().expect("queue poisoned").len() as u64;
+    let server = Value::obj()
+        .field("submitted", Value::Num(stats.submitted))
+        .field("deduped", Value::Num(stats.deduped))
+        .field("rejected", Value::Num(stats.rejected))
+        .field("completed", Value::Num(stats.completed))
+        .field("failed", Value::Num(stats.failed))
+        .field("store_hits", Value::Num(stats.store_hits))
+        .field("store_misses", Value::Num(stats.store_misses))
+        .field("queue_depth", Value::Num(queue_depth))
+        .field("queue_hwm", Value::Num(stats.queue_hwm));
+    let store = match core.store.as_ref() {
+        Some(store) => {
+            let report = store.report();
+            Value::obj()
+                .field("enabled", Value::Bool(true))
+                .field("entries", Value::Num(report.entries))
+                .field("bytes", Value::Num(report.bytes))
+                .field("hits", Value::Num(report.hits))
+                .field("misses", Value::Num(report.misses))
+                .field("evictions", Value::Num(report.evictions))
+                .field(
+                    "corrupt_quarantined",
+                    Value::Num(report.corrupt_quarantined),
+                )
+        }
+        None => Value::obj().field("enabled", Value::Bool(false)),
+    };
+    let mode = tp_obs::mode();
+    let mut payload = Value::obj()
+        .field("server", server)
+        .field("store", store)
+        .field("metrics_mode", Value::Str(mode.as_str().to_owned()));
+    if mode.is_enabled() {
+        payload = payload.field("metrics", tp_store::metrics_json(&tp_obs::snapshot()));
+    }
+    payload
 }

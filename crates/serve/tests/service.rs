@@ -254,6 +254,56 @@ fn warm_store_serves_across_restarts_with_zero_kernel_executions() {
 }
 
 #[test]
+fn stats_frame_reports_counters_store_and_queue_hwm() {
+    let dir = TempDir::new("serve-stats");
+    let (resolver, _runs) = counting_resolver();
+    let (addr, handle) = spawn_server(ServeConfig {
+        resolver,
+        store: Some(Store::open_default(dir.path()).unwrap()),
+        concurrency: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let (key, _) = client
+        .submit("SUBMIT app=CONV:small threshold=1e-1")
+        .unwrap();
+    let _ = client.result_wait(&key).unwrap();
+
+    let raw = client.stats().unwrap();
+    let payload = tp_store::json::Value::parse(&raw).expect("STATS must be valid JSON");
+    let server = payload.get("server").expect("server section");
+    let num = |v: &tp_store::json::Value, k: &str| {
+        v.get(k)
+            .and_then(tp_store::json::Value::as_num)
+            .unwrap_or_else(|| panic!("missing numeric field {k}"))
+    };
+    assert_eq!(num(server, "submitted"), 1);
+    assert_eq!(num(server, "completed"), 1);
+    assert!(num(server, "queue_hwm") >= 1, "{raw}");
+    let store = payload.get("store").expect("store section");
+    assert_eq!(
+        store
+            .get("enabled")
+            .and_then(tp_store::json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(num(store, "misses"), 1, "cold submit must miss the store");
+    // The metrics mode is always reported, even when metrics are off
+    // (this test runs without TP_METRICS, so no `metrics` section).
+    assert!(payload.get("metrics_mode").is_some(), "{raw}");
+
+    // The queue high-water mark also rides the BYE line and final stats.
+    let bye = shutdown(&addr);
+    assert!(bye.contains("queue_hwm="), "{bye}");
+    let stats = handle.join().unwrap();
+    assert!(stats.queue_hwm >= 1);
+    assert!(
+        bye.contains(&format!("queue_hwm={}", stats.queue_hwm)),
+        "{bye} vs {stats:?}"
+    );
+}
+
+#[test]
 fn failed_jobs_report_and_can_be_retried() {
     // A resolver whose kernel panics on first execution, then works.
     let attempts = Arc::new(AtomicU64::new(0));

@@ -43,12 +43,14 @@
 
 pub mod json;
 mod key;
+pub mod obs_json;
 pub mod ser;
 mod store;
 
 pub use key::{fnv64, JobKey};
+pub use obs_json::metrics_json;
 pub use ser::{record_from_json, record_to_json, DecodeError, TuningRecord, FORMAT_VERSION};
-pub use store::{Store, StoreStats, DEFAULT_CAP_BYTES};
+pub use store::{Store, StoreReport, StoreStats, DEFAULT_CAP_BYTES};
 
 /// Test fixtures shared between this crate's unit tests and its
 /// integration tests (and `tp-serve`'s). Not part of the public API.

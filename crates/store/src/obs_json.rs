@@ -1,0 +1,110 @@
+//! [`MetricsSnapshot`] → [`Value`]: the deterministic JSON rendering of a
+//! metrics snapshot.
+//!
+//! This lives in `tp-store` rather than `tp-obs` because the workspace's
+//! one JSON serializer is the store's ([`crate::json`]) and `tp-obs` sits
+//! at the bottom of the dependency graph — every layer records into it,
+//! so it cannot depend on any of them. The shape mirrors
+//! [`MetricsSnapshot`] exactly: name-ordered counters, gauges with
+//! last/max, histograms with count/sum, p50/p99/p999 upper bounds, and
+//! the non-empty `(upper edge, count)` buckets. Equal snapshots render to
+//! equal bytes (the serializer is deterministic and the snapshot is
+//! already sorted).
+
+use tp_obs::MetricsSnapshot;
+
+use crate::json::Value;
+
+/// Renders a metrics snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"store.hit": 6, ...},
+///   "gauges": {"serve.queue_depth": {"last": 0, "max": 3}, ...},
+///   "hists": {"serve.request_ns.SUBMIT":
+///     {"count": 8, "sum": 123, "p50": 127, "p99": 255, "p999": 255,
+///      "buckets": [{"le": 127, "count": 5}, ...]}, ...}
+/// }
+/// ```
+#[must_use]
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> Value {
+    let mut counters = Value::obj();
+    for (name, value) in &snapshot.counters {
+        counters = counters.field(name, Value::Num(*value));
+    }
+    let mut gauges = Value::obj();
+    for gauge in &snapshot.gauges {
+        gauges = gauges.field(
+            &gauge.name,
+            Value::obj()
+                .field("last", Value::Num(gauge.last))
+                .field("max", Value::Num(gauge.max)),
+        );
+    }
+    let mut hists = Value::obj();
+    for (name, hist) in &snapshot.hists {
+        let buckets = hist
+            .buckets
+            .iter()
+            .map(|(le, count)| {
+                Value::obj()
+                    .field("le", Value::Num(*le))
+                    .field("count", Value::Num(*count))
+            })
+            .collect();
+        hists = hists.field(
+            name,
+            Value::obj()
+                .field("count", Value::Num(hist.count))
+                .field("sum", Value::Num(hist.sum))
+                .field("p50", Value::Num(hist.p50))
+                .field("p99", Value::Num(hist.p99))
+                .field("p999", Value::Num(hist.p999))
+                .field("buckets", Value::Arr(buckets)),
+        );
+    }
+    Value::obj()
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("hists", hists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_deterministically_with_all_sections() {
+        tp_obs::force_mode(tp_obs::MetricsMode::On);
+        tp_obs::reset();
+        tp_obs::counter_add("test.obs_json.counter", 2);
+        tp_obs::gauge_set("test.obs_json.gauge", 4);
+        tp_obs::observe_ns("test.obs_json.hist", 100);
+        let snap = tp_obs::snapshot();
+        let a = metrics_json(&snap).to_json();
+        let b = metrics_json(&snap).to_json();
+        assert_eq!(a, b, "equal snapshots must render to equal bytes");
+        let parsed = Value::parse(&a).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("test.obs_json.counter"))
+                .and_then(Value::as_num),
+            Some(2)
+        );
+        let hist = parsed
+            .get("hists")
+            .and_then(|h| h.get("test.obs_json.hist"));
+        assert_eq!(
+            hist.and_then(|h| h.get("count")).and_then(Value::as_num),
+            Some(1)
+        );
+        assert_eq!(
+            hist.and_then(|h| h.get("p50")).and_then(Value::as_num),
+            Some(127),
+            "100ns lands in the 64..=127 bucket"
+        );
+        tp_obs::reset();
+        tp_obs::force_mode(tp_obs::MetricsMode::Off);
+    }
+}

@@ -72,6 +72,19 @@ pub struct Store {
     index_path: PathBuf,
     cap_bytes: u64,
     index: Mutex<Index>,
+    tallies: Tallies,
+}
+
+/// Lifetime event counters for one store handle. Always on (they are a
+/// handful of relaxed atomics, far off any hot path's critical section)
+/// so [`Store::report`] works even with `TP_METRICS=off`; the same
+/// events are mirrored into `tp_obs` counters when metrics are enabled.
+#[derive(Debug, Default)]
+struct Tallies {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt_quarantined: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -89,6 +102,29 @@ pub struct StoreStats {
     pub entries: u64,
     /// Total bytes of entry files.
     pub bytes: u64,
+}
+
+/// A point-in-time report over one store handle: current size plus the
+/// handle's lifetime event tallies. Unlike [`StoreStats`] (pure size
+/// bookkeeping, kept stable for existing callers), this carries the
+/// cache-behavior counters the `STATS` frame and `tp_client stats`
+/// surface — including corruption quarantines, which would otherwise
+/// vanish as silent misses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Entries currently present.
+    pub entries: u64,
+    /// Total bytes of entry files.
+    pub bytes: u64,
+    /// `get`s served from disk.
+    pub hits: u64,
+    /// `get`s that found nothing usable (includes quarantines).
+    pub misses: u64,
+    /// Entries deleted by the LRU cap.
+    pub evictions: u64,
+    /// Entries that failed validation and were deleted (each also counts
+    /// as a miss — the caller recomputed).
+    pub corrupt_quarantined: u64,
 }
 
 impl Store {
@@ -110,6 +146,7 @@ impl Store {
             entries_dir,
             cap_bytes: cap_bytes.max(1),
             index: Mutex::new(Index::default()),
+            tallies: Tallies::default(),
         };
         {
             let mut index = store.index.lock().expect("store index poisoned");
@@ -148,6 +185,9 @@ impl Store {
                 // (in memory; the next put persists the cleanup).
                 let mut index = self.index.lock().expect("store index poisoned");
                 index.entries.remove(&key.as_u64());
+                drop(index);
+                self.tallies.misses.fetch_add(1, Ordering::Relaxed);
+                tp_obs::counter_inc("store.miss");
                 return None;
             }
         };
@@ -159,17 +199,29 @@ impl Store {
                 index
                     .entries
                     .insert(key.as_u64(), (bytes.len() as u64, seq));
+                drop(index);
+                self.tallies.hits.fetch_add(1, Ordering::Relaxed);
+                tp_obs::counter_inc("store.hit");
                 Some(record)
             }
             Err(_) => {
                 // Detected via header/checksum/parse: never serve it,
                 // never panic — delete and report a miss so the entry is
                 // recomputed. (Persisting here is off the hot path: this
-                // only happens on damage.)
+                // only happens on damage.) Counted as both a quarantine
+                // and a miss: without the explicit quarantine tally this
+                // event is indistinguishable from a cold lookup.
                 let _ = fs::remove_file(&path);
                 let mut index = self.index.lock().expect("store index poisoned");
                 index.entries.remove(&key.as_u64());
                 let _ = self.persist_index(&index);
+                drop(index);
+                self.tallies.misses.fetch_add(1, Ordering::Relaxed);
+                self.tallies
+                    .corrupt_quarantined
+                    .fetch_add(1, Ordering::Relaxed);
+                tp_obs::counter_inc("store.miss");
+                tp_obs::counter_inc("store.corrupt_quarantined");
                 None
             }
         }
@@ -209,6 +261,9 @@ impl Store {
             .insert(key.as_u64(), (bytes.len() as u64, seq));
         self.evict_over_cap(&mut index, key);
         self.persist_index(&index)?;
+        if tp_obs::enabled() {
+            tp_obs::gauge_set("store.bytes", index.entries.values().map(|(b, _)| *b).sum());
+        }
         Ok(())
     }
 
@@ -219,6 +274,22 @@ impl Store {
         StoreStats {
             entries: index.entries.len() as u64,
             bytes: index.entries.values().map(|(b, _)| *b).sum(),
+        }
+    }
+
+    /// Current size plus this handle's lifetime hit/miss/eviction/
+    /// quarantine tallies (see [`StoreReport`]). Available regardless of
+    /// `TP_METRICS`.
+    #[must_use]
+    pub fn report(&self) -> StoreReport {
+        let stats = self.stats();
+        StoreReport {
+            entries: stats.entries,
+            bytes: stats.bytes,
+            hits: self.tallies.hits.load(Ordering::Relaxed),
+            misses: self.tallies.misses.load(Ordering::Relaxed),
+            evictions: self.tallies.evictions.load(Ordering::Relaxed),
+            corrupt_quarantined: self.tallies.corrupt_quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -257,6 +328,8 @@ impl Store {
             let Some(victim) = victim else { break };
             index.entries.remove(&victim);
             let _ = fs::remove_file(self.entries_dir.join(format!("{victim:016x}.tpr")));
+            self.tallies.evictions.fetch_add(1, Ordering::Relaxed);
+            tp_obs::counter_inc("store.eviction");
         }
     }
 
@@ -465,6 +538,50 @@ mod tests {
         let store = Store::open_default(dir.path()).unwrap();
         assert_eq!(store.stats().entries, 1);
         assert_eq!(store.get(key(5)), Some(rec));
+    }
+
+    #[test]
+    fn report_tallies_hits_misses_and_corruption_quarantines() {
+        let dir = TempDir::new("report");
+        let store = Store::open_default(dir.path()).unwrap();
+        let rec = sample_record();
+        assert_eq!(store.report(), StoreReport::default());
+
+        assert!(store.get(key(1)).is_none()); // cold miss
+        store.put(key(1), &rec).unwrap();
+        assert!(store.get(key(1)).is_some()); // hit
+
+        // Corrupt the entry on disk: the next get must quarantine it
+        // (delete + miss) and say so in the report instead of hiding it
+        // among ordinary misses.
+        let path = dir.path().join(format!("v1/entries/{}.tpr", key(1).hex()));
+        fs::write(&path, b"tp-store v1 len=3 crc=0000000000000000\nxyz").unwrap();
+        assert!(store.get(key(1)).is_none());
+        assert!(!path.exists(), "corrupt entry not quarantined");
+
+        let report = store.report();
+        assert_eq!(report.hits, 1);
+        assert_eq!(report.misses, 2, "quarantine must count as a miss");
+        assert_eq!(report.corrupt_quarantined, 1);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.entries, 0);
+
+        // A recompute-and-rewrite heals it.
+        store.put(key(1), &rec).unwrap();
+        assert_eq!(store.get(key(1)), Some(rec));
+        assert_eq!(store.report().hits, 2);
+    }
+
+    #[test]
+    fn report_counts_evictions() {
+        let dir = TempDir::new("report-evict");
+        let rec = sample_record();
+        let one = encode_entry(&rec).len() as u64;
+        let store = Store::open(dir.path(), 2 * one + one / 2).unwrap();
+        for n in 1..=4 {
+            store.put(key(n), &rec).unwrap();
+        }
+        assert_eq!(store.report().evictions, 2);
     }
 
     #[test]

@@ -43,6 +43,7 @@ impl Trace {
     /// transparently falls back to sequential replay.
     #[must_use]
     pub fn replay_batch(traces: &[&Trace], config: &TypeConfig) -> Vec<Replayed> {
+        tp_obs::counter_inc("trace.replay_batch_calls");
         let [leader, rest @ ..] = traces else {
             return Vec::new();
         };

@@ -534,6 +534,7 @@ impl Trace {
         vars: &[VarSpec],
         run: impl FnOnce(&TypeConfig) -> Vec<f64>,
     ) -> Result<Trace, RecordError> {
+        tp_obs::counter_inc("trace.recordings");
         let pool_len = format_pool().count();
         if vars.len() > pool_len {
             return Err(RecordError::TooManyVariables {

@@ -354,6 +354,7 @@ impl Trace {
     /// recorded a prefix of the live run's events.
     #[must_use]
     pub fn replay(&self, config: &TypeConfig) -> Replayed {
+        tp_obs::counter_inc("trace.replay_calls");
         if Recorder::is_enabled() || Engine::is_active() {
             self.replay_fx(config)
         } else {

@@ -255,10 +255,14 @@ struct ReplayCtx<'a> {
     done: Vec<std::sync::atomic::AtomicBool>,
     /// Batched evaluation enabled ([`SearchParams::batch`]).
     batch: bool,
+    /// The kernel under search — labels the per-kernel `trace.*` metrics
+    /// (`trace.replayed.CONV`, …). Observational only.
+    app_name: String,
 }
 
 impl<'a> ReplayCtx<'a> {
     fn new(
+        app_name: &str,
         traces: Vec<Option<Trace>>,
         references: &'a [Vec<f64>],
         threshold: f64,
@@ -314,6 +318,7 @@ impl<'a> ReplayCtx<'a> {
             lane_debt,
             done,
             batch,
+            app_name: app_name.to_owned(),
         }
     }
 
@@ -322,8 +327,14 @@ impl<'a> ReplayCtx<'a> {
         self.done[set].store(true, Ordering::Relaxed);
     }
 
-    fn live(input_sets: usize, references: &'a [Vec<f64>]) -> Self {
-        Self::new(vec![None; input_sets], references, f64::INFINITY, false)
+    fn live(app_name: &str, input_sets: usize, references: &'a [Vec<f64>]) -> Self {
+        Self::new(
+            app_name,
+            vec![None; input_sets],
+            references,
+            f64::INFINITY,
+            false,
+        )
     }
 
     /// The tape to try for `set`, unless none was recorded or the
@@ -339,10 +350,21 @@ impl<'a> ReplayCtx<'a> {
     fn note_outcome(&self, set: usize, diverged: bool) {
         if diverged {
             self.stats.diverged.fetch_add(1, Ordering::Relaxed);
-            self.gates[set].fetch_add(1, Ordering::Relaxed);
+            let gate = self.gates[set].fetch_add(1, Ordering::Relaxed) + 1;
+            if tp_obs::enabled() {
+                tp_obs::counter_inc(&format!("trace.diverged.{}", self.app_name));
+                if gate == DIVERGENCE_LATCH {
+                    // The exact divergence that latched this set back to
+                    // live evaluation — rare, and worth seeing per kernel.
+                    tp_obs::counter_inc(&format!("trace.divergence_latch.{}", self.app_name));
+                }
+            }
         } else {
             self.stats.replayed.fetch_add(1, Ordering::Relaxed);
             self.gates[set].store(0, Ordering::Relaxed);
+            if tp_obs::enabled() {
+                tp_obs::counter_inc(&format!("trace.replayed.{}", self.app_name));
+            }
         }
     }
 
@@ -429,6 +451,7 @@ impl<'a> ReplayCtx<'a> {
                     // lane cost keeps batching indefinitely.
                     slot.1 = false;
                     self.lane_debt[gid].fetch_sub(HIT_CREDIT, Ordering::Relaxed);
+                    tp_obs::counter_inc("tuner.speculation_hits");
                 }
                 drop(cache);
                 return self.serve(set, verdict);
@@ -437,6 +460,9 @@ impl<'a> ReplayCtx<'a> {
 
         let cfg = cand.config(params.type_system, vars);
         let throttled = self.lane_debt[gid].load(Ordering::Relaxed) >= LANE_DEBT_LIMIT;
+        if throttled {
+            tp_obs::counter_inc("tuner.speculation_throttled");
+        }
         let (members, results) = if throttled {
             // Siblings have not been consuming their lanes: replay only
             // the requesting set (one sequential tape pass), but keep
@@ -466,6 +492,7 @@ impl<'a> ReplayCtx<'a> {
                 let results = Trace::replay_batch(&lane_traces, &cfg);
                 self.lane_debt[gid]
                     .fetch_add((members.len() as i64 - 1) * LANE_COST, Ordering::Relaxed);
+                tp_obs::counter_add("tuner.speculation_lanes", members.len() as u64 - 1);
                 (members, results)
             }
         };
@@ -742,6 +769,9 @@ fn candidate_passes(
     reference: &[f64],
     set: usize,
 ) -> bool {
+    if tp_obs::enabled() {
+        tp_obs::counter_inc(&format!("trace.live.{}", app.name()));
+    }
     let out = app.run(&cand.config(params.type_system, vars), set);
     relative_rms_error(reference, &out) <= params.threshold
 }
@@ -1039,6 +1069,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // recorded totals stay worker-count invariant.
     let recording = Recorder::is_enabled();
     let references: Vec<Vec<f64>> = {
+        let _span = tp_obs::Span::enter("tuner.phase_references_ns");
         let per_set: Vec<(Vec<f64>, Option<TraceCounts>)> =
             pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
                 if recording {
@@ -1065,16 +1096,20 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // the per-set fallback switch. `Trace::record` isolates itself from any
     // enclosing Recorder (its counts are bookkeeping, discarded), so no
     // scoping is needed here.
-    let replay = match params.mode {
-        TunerMode::Live => ReplayCtx::live(params.input_sets, &references),
-        TunerMode::Replay => ReplayCtx::new(
-            pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
-                Trace::record(&vars, |cfg| app.run(cfg, set)).ok()
-            }),
-            &references,
-            params.threshold,
-            params.batch,
-        ),
+    let replay = {
+        let _span = tp_obs::Span::enter("tuner.phase_record_ns");
+        match params.mode {
+            TunerMode::Live => ReplayCtx::live(app.name(), params.input_sets, &references),
+            TunerMode::Replay => ReplayCtx::new(
+                app.name(),
+                pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
+                    Trace::record(&vars, |cfg| app.run(cfg, set)).ok()
+                }),
+                &references,
+                params.threshold,
+                params.batch,
+            ),
+        }
     };
 
     // Phase 1: tune every input set independently, in parallel. Recording
@@ -1083,6 +1118,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // a Recorder running does each worker capture its ops in a scope, and
     // the driver re-absorb the counts in set order, so the enclosing
     // recording sees the same totals a sequential run would have produced.
+    let phase1_span = tp_obs::Span::enter("tuner.phase1_ns");
     let per_set: Vec<(Candidate, u64, Option<TraceCounts>)> =
         pool::parallel_map(workers.min(params.input_sets), params.input_sets, |set| {
             if recording {
@@ -1131,6 +1167,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
             Recorder::absorb(counts);
         }
     }
+    drop(phase1_span);
 
     // Phase 2: validate the joined binding on every set; repair when the
     // max-join is not sufficient due to cross-variable interactions.
@@ -1140,6 +1177,7 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
     // only raise precisions, and the all-maximum configuration reproduces
     // the reference exactly). This phase is a handful of evaluations and
     // runs sequentially — its trajectory must not depend on scheduling.
+    let phase2_span = tp_obs::Span::enter("tuner.phase2_ns");
     let mut st = SearchState {
         app,
         params,
@@ -1162,6 +1200,8 @@ pub fn distributed_search(app: &dyn Tunable, params: SearchParams) -> TuningOutc
         }
     }
     evaluations += st.evaluations;
+    drop(phase2_span);
+    tp_obs::counter_add("tuner.evaluations", evaluations);
 
     TuningOutcome {
         app: app.name().to_owned(),

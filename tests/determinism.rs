@@ -104,6 +104,72 @@ fn evaluate_app_is_worker_count_invariant() {
     assert_eq!(seq.tuned.energy.total(), par.tuned.energy.total());
 }
 
+/// Metrics are observational by contract (DESIGN.md §12): the obs layer
+/// may count, time and bucket, but may never move a decision. The matrix
+/// leg: chosen formats, storage mapping and trace counts bit-identical
+/// under metrics {off, on} × workers {1, 4}.
+///
+/// `tp_obs::force_mode` is the programmatic spelling of `TP_METRICS` —
+/// environment initialization routes through the same mode values — and
+/// avoids mutating the process environment while sibling tests run
+/// concurrently (flipping the mode mid-run is safe for them precisely
+/// because of the contract this test pins).
+#[test]
+fn metrics_are_decision_transparent() {
+    let app = Conv::small();
+    let params = PlatformParams::paper();
+    let matrix = [
+        (tp_obs::MetricsMode::Off, 1usize),
+        (tp_obs::MetricsMode::Off, 4),
+        (tp_obs::MetricsMode::On, 1),
+        (tp_obs::MetricsMode::On, 4),
+    ];
+    let runs: Vec<_> = matrix
+        .iter()
+        .map(|&(mode, workers)| {
+            tp_obs::force_mode(mode);
+            let record = evaluate_app_with(&app, 1e-1, &params, workers, TunerMode::Replay);
+            (mode, workers, record)
+        })
+        .collect();
+    tp_obs::force_mode(tp_obs::MetricsMode::Off);
+
+    let (_, _, want) = &runs[0];
+    for (mode, workers, record) in &runs {
+        let tag = format!("metrics={mode} workers={workers}");
+        assert_eq!(
+            fingerprint(&record.outcome),
+            fingerprint(&want.outcome),
+            "{tag}: formats moved"
+        );
+        assert_eq!(record.storage, want.storage, "{tag}");
+        assert_eq!(
+            record.baseline_counts, want.baseline_counts,
+            "{tag}: baseline trace counts moved"
+        );
+        assert_eq!(
+            record.tuned_counts, want.tuned_counts,
+            "{tag}: tuned trace counts moved"
+        );
+        assert_eq!(
+            record.tuned.energy.total(),
+            want.tuned.energy.total(),
+            "{tag}"
+        );
+    }
+    // At a fixed worker count even the evaluation count (which worker
+    // count itself may legitimately change — module docs) must not move
+    // with the metrics mode.
+    for pair in [(0usize, 2usize), (1, 3)] {
+        let (_, w, off) = &runs[pair.0];
+        let (_, _, on) = &runs[pair.1];
+        assert_eq!(
+            off.outcome.evaluations, on.outcome.evaluations,
+            "workers={w}: metrics mode changed the evaluation count"
+        );
+    }
+}
+
 /// Worker-count invariance composes with backend choice: the chosen
 /// formats agree across the full {backend} × {workers} matrix. (Backends
 /// are bit-identical — tests/backends.rs — so scheduling differences on a

@@ -7,7 +7,10 @@
 //! * a repeated `SUBMIT` against a warm store executes **zero** kernel
 //!   evaluations (asserted via a run counter that counts every kernel
 //!   execution: searches, references, validation and trace recording);
-//! * graceful shutdown accounts for every request.
+//! * graceful shutdown accounts for every request;
+//! * (ISSUE 9) the live `STATS` plane: with metrics on, a running server
+//!   reports per-frame-type latency histograms and store hit/miss
+//!   counters over the wire, including after a restart-and-hit pass.
 
 use std::sync::atomic::Ordering;
 
@@ -159,6 +162,92 @@ fn service_acceptance_concurrent_clients_warm_store_zero_evaluations() {
     assert_eq!(stats2.store_hits, 6, "second pass must be 100% hits");
     assert_eq!(stats2.store_misses, 0);
     assert_eq!(stats2.failed, 0);
+}
+
+/// The live observability plane, end to end: server counters, the store
+/// report and per-frame-type latency histograms all ride one `STATS`
+/// frame, and they survive (indeed, demonstrate) a warm-store restart.
+///
+/// `force_mode` is the programmatic spelling of `TP_METRICS=on` — both
+/// route through the same mode parser — and avoids mutating the process
+/// environment while sibling tests run.
+#[test]
+fn stats_plane_reports_latency_histograms_and_store_counters() {
+    use tp_store::json::Value;
+    tp_obs::force_mode(tp_obs::MetricsMode::On);
+    let dir = TempDir::new("e2e-stats");
+    let (resolver, _runs) = counting_resolver();
+
+    // Cold pass: compute and persist one record.
+    let server = Server::bind(ServeConfig {
+        concurrency: 2,
+        resolver: resolver.clone(),
+        store: Some(Store::open_default(dir.path()).unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).unwrap();
+    let (key, _) = client
+        .submit("SUBMIT app=BLACKSCHOLES:small threshold=1e-1")
+        .unwrap();
+    let cold = client.result_wait(&key).unwrap();
+    assert!(!cold.cache_hit);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Warm restart: the same SUBMIT is a store hit, and STATS sees it.
+    let server = Server::bind(ServeConfig {
+        concurrency: 2,
+        resolver,
+        store: Some(Store::open_default(dir.path()).unwrap()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).unwrap();
+    let (_, _) = client
+        .submit("SUBMIT app=BLACKSCHOLES:small threshold=1e-1")
+        .unwrap();
+    let warm = client.result_wait(&key).unwrap();
+    assert!(warm.cache_hit, "restart must serve from the store");
+
+    let raw = client.stats().unwrap();
+    let payload = Value::parse(&raw).expect("STATS must be valid JSON");
+    let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_num).unwrap_or(0);
+
+    let store = payload.get("store").expect("store section");
+    assert_eq!(num(store, "hits"), 1, "{raw}");
+    assert_eq!(num(store, "misses"), 0, "{raw}");
+    assert_eq!(
+        payload.get("metrics_mode").and_then(Value::as_str),
+        Some("on"),
+        "{raw}"
+    );
+
+    // Latency histograms per frame type: the SUBMIT and RESULT requests
+    // above were timed, absorbed, and are visible live with non-trivial
+    // quantile bounds.
+    let metrics = payload.get("metrics").expect("metrics section when on");
+    let hists = metrics.get("hists").expect("hists");
+    for verb in ["SUBMIT", "RESULT"] {
+        let hist = hists
+            .get(&format!("serve.request_ns.{verb}"))
+            .unwrap_or_else(|| panic!("no latency histogram for {verb}: {raw}"));
+        assert!(num(hist, "count") >= 1, "{verb}: {raw}");
+        let (p50, p99, p999) = (num(hist, "p50"), num(hist, "p99"), num(hist, "p999"));
+        assert!(p50 > 0, "{verb}: {raw}");
+        assert!(p50 <= p99 && p99 <= p999, "{verb}: {raw}");
+    }
+    // The decision outputs were identical all along (the determinism
+    // matrix pins this); here the records must simply round-trip.
+    assert_eq!(cold.record, warm.record);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    tp_obs::force_mode(tp_obs::MetricsMode::Off);
 }
 
 #[test]
