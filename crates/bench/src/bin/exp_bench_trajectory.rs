@@ -11,7 +11,7 @@
 //! the proof that batching changed no decision — CI fails otherwise.
 //!
 //! Usage: `exp_bench_trajectory [--pr N] [--out PATH]`
-//! (defaults: `--pr 8`, `--out BENCH_<pr>.json` in the current directory).
+//! (defaults: `--pr 10`, `--out BENCH_<pr>.json` in the current directory).
 
 use tp_bench::trajectory::{
     markdown_table, measure_suite, paper_claims, straight_line_mean, to_json, BATCHED_TARGET,
@@ -29,7 +29,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let pr: u32 = arg_value(&args, "--pr").map_or(8, |v| {
+    let pr: u32 = arg_value(&args, "--pr").map_or(10, |v| {
         v.parse()
             .unwrap_or_else(|_| panic!("--pr {v:?} is not a PR number"))
     });

@@ -15,6 +15,7 @@
 //! | `TP_STORE_DIR` | directory path | unset (store off) | Persistent tuning-result store root; set it and warm runs skip the search |
 //! | `TP_STORE_CAP` | bytes, with optional `K`/`M`/`G` suffix | `256M` | Store eviction cap (LRU beyond it) |
 //! | `TP_METRICS` | `off`, `on`, `json`, `prom` | `off` | Metrics collection (`tp_obs`); `json`/`prom` also make harness binaries print a snapshot at exit. Observational only — never affects results or `JobKey`s |
+//! | `TP_TRACE_EVENTS` | file path | unset (tracing off) | Causal span-tree tracing (`tp_obs::trace`); harness binaries and the daemon write the session's spans to the path as Chrome trace-event JSON at exit (load in `chrome://tracing`/Perfetto). Observational only, same contract as `TP_METRICS` |
 //!
 //! Some of the knobs are *dispatch-site* parsed by lower crates that
 //! cannot depend on this one (`TP_BACKEND` folds into the thread's
@@ -49,13 +50,15 @@ pub struct EnvConfig {
     pub store_cap: u64,
     /// The metrics mode (`TP_METRICS` / off).
     pub metrics: tp_obs::MetricsMode,
+    /// The trace-events dump path, if tracing is on (`TP_TRACE_EVENTS`).
+    pub trace_events: Option<String>,
 }
 
 impl std::fmt::Display for EnvConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "backend={} workers={} mode={} batch={} store={} metrics={}",
+            "backend={} workers={} mode={} batch={} store={} metrics={} tracing={}",
             self.backend,
             self.workers,
             self.mode,
@@ -64,7 +67,11 @@ impl std::fmt::Display for EnvConfig {
                 Some(dir) => format!("{} (cap {} bytes)", dir.display(), self.store_cap),
                 None => "off".to_owned(),
             },
-            self.metrics
+            self.metrics,
+            match &self.trace_events {
+                Some(path) => format!("on -> {path}"),
+                None => "off".to_owned(),
+            },
         )
     }
 }
@@ -82,7 +89,17 @@ pub fn config() -> EnvConfig {
         store_dir: store_dir(),
         store_cap: store_cap(),
         metrics: metrics_mode(),
+        trace_events: trace_events(),
     }
+}
+
+/// The trace-events dump path: `TP_TRACE_EVENTS` (any non-empty path —
+/// resolved dispatch-site in `tp_obs::trace`, unreadable values panic),
+/// or `None` (tracing off). Observational by contract, like
+/// `TP_METRICS`: span trees never affect results or `JobKey`s.
+#[must_use]
+pub fn trace_events() -> Option<String> {
+    tp_obs::trace::trace_events_path()
 }
 
 /// The effective metrics mode: `TP_METRICS` (`off`/`on`/`json`/`prom`,

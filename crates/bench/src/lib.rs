@@ -48,6 +48,33 @@ pub fn maybe_emit_metrics() {
         }
         tp_obs::MetricsMode::Off | tp_obs::MetricsMode::On => {}
     }
+    // The tracing analog: with TP_TRACE_EVENTS set, write the session's
+    // span forest as Chrome trace-event JSON (no-op otherwise). Shared
+    // here so every harness binary gets the dump for free.
+    tp_obs::trace::maybe_dump();
+}
+
+/// Forwards every [`FpuModel`] issue to the `tp_obs::attr` attribution
+/// table: `FpuModel::with_sink(Arc::new(ObsAttributionSink))` makes each
+/// retired FP instruction land in the (kernel, phase, op-class,
+/// format-pair) cell the ambient [`tp_obs::attr::set_labels`] scope
+/// names. Lives here rather than in `tp-fpu` so the FPU crate stays free
+/// of an observability dependency — it defines only the
+/// [`tp_fpu::AttributionSink`] trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsAttributionSink;
+
+impl tp_fpu::AttributionSink for ObsAttributionSink {
+    fn record(
+        &self,
+        class: &'static str,
+        from: &'static str,
+        to: &'static str,
+        cycles: u64,
+        energy_pj: f64,
+    ) {
+        tp_obs::attr::record(class, from, to, cycles, energy_pj);
+    }
 }
 
 /// The three output-quality thresholds of the evaluation

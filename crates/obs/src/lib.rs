@@ -55,9 +55,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attr;
 mod hist;
+pub mod trace;
 
 pub use hist::{bucket_upper_bound, Hist, HistSnapshot, BUCKET_COUNT};
+pub use trace::{force_tracing, tracing_enabled, SpanContext, SpanRecord};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -360,28 +363,69 @@ pub fn observe_ns(name: &str, ns: u64) {
 /// A span timer: records the elapsed nanoseconds into the histogram
 /// `name` when dropped — including during a panic's unwind, so a span
 /// around a failing search still accounts its duration (the
-/// `Recorder::scoped` panic-safety idiom). When metrics are off,
-/// `enter` is the one thread-local check and the span is inert: no
+/// `Recorder::scoped` panic-safety idiom) — and, when tracing is on
+/// ([`trace::tracing_enabled`]), additionally records a node in the
+/// session's span tree: the span gets a process-unique id, the id of
+/// the span active on this thread when it started, and the trace id in
+/// scope (see the [`trace`] module). When both metrics and tracing are
+/// off, `enter` is two thread-local checks and the span is inert: no
 /// clock read, no allocation.
 #[must_use = "a Span records on drop; binding it to _ drops immediately"]
 pub struct Span {
-    armed: Option<(String, Instant)>,
+    name: Option<String>,
+    metrics_start: Option<Instant>,
+    traced: Option<trace::TraceArm>,
 }
 
 impl Span {
-    /// Starts a span named `name` (only materialized when metrics are
-    /// on).
+    /// Starts a span named `name` (only materialized when metrics or
+    /// tracing are on).
     pub fn enter(name: &str) -> Span {
+        Span::start(name, None, true)
+    }
+
+    /// Starts a span as a fresh **trace root**: no parent, carrying
+    /// `trace_id`. This is how a server turns an incoming SUBMIT into
+    /// the root of that request's tree (the trace id came off the wire
+    /// or was just minted). Trace-only by design — the call sites that
+    /// need a root already time the same interval into a histogram, and
+    /// arming both here would double-count it. Inert when tracing is
+    /// off.
+    pub fn enter_traced(name: &str, trace_id: u64) -> Span {
+        Span::start(name, Some(trace_id), false)
+    }
+
+    fn start(name: &str, root_trace: Option<u64>, metrics_wanted: bool) -> Span {
+        let metrics = metrics_wanted && enabled();
+        let tracing = trace::tracing_enabled();
+        if !metrics && !tracing {
+            return Span {
+                name: None,
+                metrics_start: None,
+                traced: None,
+            };
+        }
+        let now = Instant::now();
         Span {
-            armed: enabled().then(|| (name.to_owned(), Instant::now())),
+            name: Some(name.to_owned()),
+            metrics_start: metrics.then_some(now),
+            traced: tracing.then(|| trace::TraceArm::start(now, root_trace)),
         }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, start)) = self.armed.take() {
-            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let Some(name) = self.name.take() else {
+            return;
+        };
+        let end = Instant::now();
+        if let Some(arm) = self.traced.take() {
+            arm.finish(&name, end);
+        }
+        if let Some(start) = self.metrics_start.take() {
+            let ns =
+                u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX);
             observe_ns(&name, ns);
         }
     }
@@ -396,6 +440,7 @@ pub fn absorb() {
     if !enabled() {
         return;
     }
+    attr::absorb_attr();
     let _ = SHARD.try_with(|shard| {
         let taken = std::mem::replace(&mut *shard.0.borrow_mut(), Shard::new());
         if !taken.is_empty() {

@@ -1,0 +1,149 @@
+//! Edge cases of the metrics plane, pinned (ISSUE 10 satellite):
+//! quantile bounds on an empty histogram, Prometheus name sanitization
+//! for the workspace's dotted metric names (and hostile kernel-derived
+//! names), and snapshot determinism across thread absorb orderings.
+
+use tp_obs::{force_mode, render_prometheus, reset, snapshot, Hist, MetricsMode};
+
+/// Tests in this binary share the process-global metrics mode; serialize
+/// the ones that force it.
+static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn with_metrics_on(f: impl FnOnce()) {
+    let _guard = MODE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    force_mode(MetricsMode::On);
+    reset();
+    f();
+    reset();
+    force_mode(MetricsMode::Off);
+}
+
+/// An empty histogram has well-defined quantile bounds: 0, for every
+/// valid `q`. (No samples means no bucket reaches any cumulative rank;
+/// the renderers rely on this instead of special-casing emptiness.)
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Hist::new();
+    for q in [0.001, 0.5, 0.99, 0.999, 1.0] {
+        assert_eq!(h.quantile_upper_bound(q), 0, "q={q}");
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0);
+    assert_eq!((snap.p50, snap.p99, snap.p999), (0, 0, 0));
+    assert!(snap.buckets.is_empty());
+}
+
+/// Prometheus metric names admit only `[a-zA-Z0-9_:]`; the workspace's
+/// dotted names (`serve.request_ns.SUBMIT`) and anything hostile a
+/// kernel name could smuggle in (spaces, unicode, braces) must come out
+/// sanitized — every exposed name is `tp_`-prefixed with each invalid
+/// character replaced by `_`, and label values are untouched.
+#[test]
+fn prometheus_rendering_sanitizes_hostile_names() {
+    with_metrics_on(|| {
+        tp_obs::counter_inc("serve.request_ns.SUBMIT");
+        tp_obs::counter_inc("kernel.CONV:small");
+        tp_obs::counter_inc("weird kernel{x=\"1\"} ünïcode");
+        tp_obs::observe_ns("trace.replay.dotted_ns", 100);
+        tp_obs::absorb();
+        let text = render_prometheus(&snapshot());
+
+        assert!(
+            text.contains("tp_serve_request_ns_SUBMIT 1"),
+            "dots must become underscores:\n{text}"
+        );
+        assert!(
+            text.contains("tp_kernel_CONV:small 1"),
+            "colons are valid prometheus name chars:\n{text}"
+        );
+        assert!(
+            text.contains("tp_weird_kernel_x__1____n_code 1"),
+            "hostile chars (braces, quotes, spaces, non-ascii) must each \
+             become one underscore:\n{text}"
+        );
+        assert!(
+            text.contains("tp_trace_replay_dotted_ns_bucket{le=\"127\"}"),
+            "histogram series keep only the le label:\n{text}"
+        );
+        // No line may expose an unsanitized name: outside of label
+        // values, a metric-name character set violation would break
+        // scrapers. Every non-comment line starts with a tp_ name made
+        // of valid characters.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(name.starts_with("tp_"), "{line}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "unsanitized metric name in line: {line}"
+            );
+        }
+    });
+}
+
+/// Snapshots are deterministic in the face of absorb reordering: the
+/// same per-thread recordings produce byte-identical renderings no
+/// matter which thread flushes first (shards merge into sorted maps, so
+/// merge order cannot leak into the output).
+#[test]
+fn snapshot_is_identical_across_absorb_orderings() {
+    // The gauge lives on one thread only: a gauge's `last` is
+    // last-writer-wins by design, so *concurrent* writers from different
+    // shards are the one place merge order may legitimately show.
+    // Counters, histograms and the gauge high-water mark must not.
+    let record_t1 = || {
+        tp_obs::counter_add("test.order.counter", 1);
+        tp_obs::observe_ns("test.order.hist", 100);
+        tp_obs::gauge_set("test.order.gauge", 5);
+        tp_obs::gauge_set("test.order.gauge", 3);
+    };
+    let record_t2 = || {
+        tp_obs::counter_add("test.order.counter", 2);
+        tp_obs::observe_ns("test.order.hist", 90_000);
+    };
+
+    let run = |first_joins: bool| {
+        // Each worker parks after recording until told to exit, so the
+        // *flush* order (thread exit) is exactly the join order.
+        let (tx1, rx1) = std::sync::mpsc::channel::<()>();
+        let (tx2, rx2) = std::sync::mpsc::channel::<()>();
+        let t1 = std::thread::spawn(move || {
+            record_t1();
+            let _ = rx1.recv();
+        });
+        let t2 = std::thread::spawn(move || {
+            record_t2();
+            let _ = rx2.recv();
+        });
+        if first_joins {
+            tx1.send(()).unwrap();
+            t1.join().unwrap();
+            tx2.send(()).unwrap();
+            t2.join().unwrap();
+        } else {
+            tx2.send(()).unwrap();
+            t2.join().unwrap();
+            tx1.send(()).unwrap();
+            t1.join().unwrap();
+        }
+        tp_obs::absorb();
+        render_prometheus(&snapshot())
+    };
+
+    let mut renders = Vec::new();
+    for first_joins in [true, false] {
+        with_metrics_on(|| renders.push(run(first_joins)));
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "absorb order leaked into the snapshot"
+    );
+    assert!(
+        renders[0].contains("tp_test_order_counter 3"),
+        "{}",
+        renders[0]
+    );
+}

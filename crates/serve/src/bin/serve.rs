@@ -76,15 +76,21 @@ fn run() -> Result<(), String> {
     // Print the budget actually in effect (--workers resolved), not the
     // machine/env default.
     let workers_total = tp_tuner::resolve_workers(config.total_workers);
-    // Resolve TP_METRICS up front so a bad value fails at startup, not on
-    // the first instrumented request.
+    // Resolve TP_METRICS and TP_TRACE_EVENTS up front so a bad value
+    // fails at startup, not on the first instrumented request.
     let metrics = tp_bench::env::metrics_mode();
+    let trace_desc = tp_obs::trace::trace_events_path()
+        .map_or_else(|| "off".to_owned(), |path| format!("on -> {path}"));
     let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     println!(
-        "tp-serve config: concurrency={concurrency} workers-total={workers_total} metrics={metrics} store: {store_desc}"
+        "tp-serve config: concurrency={concurrency} workers-total={workers_total} metrics={metrics} tracing={trace_desc} store: {store_desc}"
     );
     println!("tp-serve listening on {}", server.local_addr());
     let stats = server.run();
+    // Writes the session's span forest as Chrome trace-event JSON when
+    // TP_TRACE_EVENTS is set (no-op otherwise) — after run() so every
+    // worker and handler thread has finished its spans.
+    tp_obs::trace::maybe_dump();
     println!(
         "tp-serve stopped: submitted={} deduped={} rejected={} completed={} failed={} hits={} misses={} queue_hwm={}",
         stats.submitted,

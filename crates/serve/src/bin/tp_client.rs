@@ -6,6 +6,7 @@
 //! tp_client --addr HOST:PORT result <key> [--wait] [--json]
 //! tp_client --addr HOST:PORT list
 //! tp_client --addr HOST:PORT stats [--json]
+//! tp_client --addr HOST:PORT trace <key>
 //! tp_client --addr HOST:PORT shutdown
 //! tp_client direct app=<kernel> threshold=<f64> [field=value…] [--json]
 //! ```
@@ -20,9 +21,16 @@
 //!
 //! `stats` fetches the server's `STATS` snapshot and prints greppable
 //! lines: server counters, the store report (`store hits=… misses=…`),
-//! and — when the server runs with `TP_METRICS` on — per-frame-type
+//! and — when the server runs with `TP_METRICS` on — the queue wait
+//! (`queue count=… p50<=…ns p99<=…ns p999<=…ns`) and per-frame-type
 //! latency (`latency SUBMIT count=… p50<=…ns p99<=…ns p999<=…ns`).
 //! `stats --json` prints the raw snapshot instead.
+//!
+//! With `TP_TRACE_EVENTS=<path>` set, `submit` mints a trace id, sends
+//! it on the wire (`trace=<hex>`) so the server files its spans under
+//! the same trace, records the client-side request span, and writes the
+//! client's own Chrome trace JSON to `<path>` on exit. `trace <key>`
+//! fetches the server-side span tree for an earlier submit.
 
 use std::process::ExitCode;
 
@@ -30,13 +38,17 @@ use tp_serve::{format_summary, Client};
 use tp_store::record_to_json;
 
 fn main() -> ExitCode {
-    match run() {
+    let code = match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("tp_client: {msg}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Writes the client-side span tree when TP_TRACE_EVENTS is set
+    // (no-op otherwise) — after run() so every span guard has dropped.
+    tp_obs::trace::maybe_dump();
+    code
 }
 
 fn run() -> Result<(), String> {
@@ -52,7 +64,19 @@ fn run() -> Result<(), String> {
         "submit" => {
             let addr = addr.ok_or("submit needs --addr")?;
             let mut client = connect(&addr)?;
-            let spec = format!("SUBMIT {}", rest.join(" "));
+            let mut spec = format!("SUBMIT {}", rest.join(" "));
+            // With tracing on, mint the trace id client-side and send it
+            // on the wire: the server's spans then join this process's
+            // tree, and chrome://tracing shows one causal story. An
+            // explicit trace= field from the user wins.
+            let trace_id = (tp_obs::tracing_enabled()
+                && !rest.iter().any(|a| a.starts_with("trace=")))
+            .then(tp_obs::trace::mint_id);
+            if let Some(t) = trace_id {
+                use std::fmt::Write as _;
+                let _ = write!(spec, " trace={t:x}");
+            }
+            let _root = trace_id.map(|t| tp_obs::Span::enter_traced("client.request.SUBMIT", t));
             let (key, state) = client.submit(&spec).map_err(stringify)?;
             if !wait {
                 println!("key={key} state={state}");
@@ -105,6 +129,12 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "trace" => {
+            let addr = addr.ok_or("trace needs --addr")?;
+            let key = rest.first().ok_or("trace needs a job key")?;
+            println!("{}", connect(&addr)?.trace(key).map_err(stringify)?);
+            Ok(())
+        }
         "shutdown" => {
             let addr = addr.ok_or("shutdown needs --addr")?;
             println!("{}", connect(&addr)?.shutdown().map_err(stringify)?);
@@ -134,6 +164,7 @@ fn run() -> Result<(), String> {
                  tp_client --addr HOST:PORT status|result <key> [--wait] [--json]\n\
                  tp_client --addr HOST:PORT list|shutdown\n\
                  tp_client --addr HOST:PORT stats [--json]\n\
+                 tp_client --addr HOST:PORT trace <key>\n\
                  tp_client direct app=<kernel> threshold=<f64> [field=value...] [--json]"
             );
             Ok(())
@@ -197,6 +228,17 @@ fn render_stats(raw: &str) -> Result<String, String> {
     let _ = writeln!(out, "metrics mode={mode}");
     if let Some(Value::Obj(hists)) = payload.get("metrics").and_then(|m| m.get("hists")) {
         for (name, hist) in hists {
+            if name == "serve.queue_ns" {
+                let _ = writeln!(
+                    out,
+                    "queue count={} p50<={}ns p99<={}ns p999<={}ns",
+                    num(hist, "count"),
+                    num(hist, "p50"),
+                    num(hist, "p99"),
+                    num(hist, "p999"),
+                );
+                continue;
+            }
             let Some(verb) = name.strip_prefix("serve.request_ns.") else {
                 continue;
             };

@@ -127,6 +127,21 @@ impl Client {
             .ok_or_else(|| io::Error::other(response.clone()))
     }
 
+    /// `TRACE <key>`: the job's span tree as raw JSON text (parse with
+    /// [`tp_store::json::Value::parse`]; shape documented on
+    /// [`tp_store::spans_json`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `ERR unknown-key` / `ERR no-trace` responses.
+    pub fn trace(&mut self, key: &str) -> io::Result<String> {
+        let response = self.call(&format!("TRACE {key}"))?;
+        response
+            .strip_prefix("OK ")
+            .map(str::to_owned)
+            .ok_or_else(|| io::Error::other(response.clone()))
+    }
+
     /// `SHUTDOWN`: graceful drain; returns the server's `BYE` stats line.
     ///
     /// # Errors

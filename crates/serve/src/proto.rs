@@ -19,12 +19,21 @@
 //!
 //! | Verb | Payload | Reply |
 //! |---|---|---|
-//! | `SUBMIT` | `SUBMIT app=<name[:variant]> threshold=<f64> [sets=N] [mode=live\|replay] [ts=V1\|V2] [passes=N] [maxp=N]` | `OK <key> <state>` / `ERR full` / `ERR draining` / `ERR <reason>` |
+//! | `SUBMIT` | `SUBMIT app=<name[:variant]> threshold=<f64> [sets=N] [mode=live\|replay] [ts=V1\|V2] [passes=N] [maxp=N] [trace=<hex>]` | `OK <key> <state>` / `ERR full` / `ERR draining` / `ERR <reason>` |
 //! | `STATUS` | `STATUS <key>` | `OK <state>` / `ERR unknown-key` |
 //! | `RESULT` | `RESULT <key> [wait]` | `OK cache_hit=<0\|1>\n<record JSON>` / `PENDING` / `ERR …` |
 //! | `LIST` | `LIST` | `OK n=<jobs> <stats…>` then one `<key> <state> <app> kernel=<NAME:variant> threshold=<t>` line per job |
 //! | `STATS` | `STATS` | `OK <stats JSON>`: server counters + queue depth/HWM, the store's hit/miss/eviction/quarantine report, and (when `TP_METRICS` is on) the full metrics snapshot |
+//! | `TRACE` | `TRACE <key>` | `OK <span-tree JSON>` / `ERR unknown-key` / `ERR no-trace` |
 //! | `SHUTDOWN` | `SHUTDOWN` | `BYE <stats…>` after a graceful drain |
+//!
+//! `trace=<hex>` is optional and backward compatible: a client that
+//! traces its own side mints a trace id (`tp_obs::trace::mint_id`) and
+//! passes it so the server's spans join the client's tree; without it
+//! the server mints one per SUBMIT when tracing is enabled. The id is
+//! observational — it never reaches `SearchParams` or the `JobKey`, so
+//! two submits differing only in `trace=` dedupe to one job (first id
+//! wins).
 //!
 //! States are `queued`, `running`, `done`, `failed`. The record JSON is
 //! exactly the `tp-store` serialization ([`tp_store::record_from_json`]
@@ -127,6 +136,8 @@ pub enum Request {
     /// Fetch the observability snapshot (counters, queue depth, store
     /// report, latency histograms) as JSON.
     Stats,
+    /// Fetch one job's span tree (by key, hex spelling) as JSON.
+    Trace(String),
     /// Drain the queue and stop the server.
     Shutdown,
 }
@@ -142,6 +153,7 @@ impl Request {
             Request::Result { .. } => "RESULT",
             Request::List => "LIST",
             Request::Stats => "STATS",
+            Request::Trace(_) => "TRACE",
             Request::Shutdown => "SHUTDOWN",
         }
     }
@@ -166,6 +178,11 @@ pub struct SubmitRequest {
     pub passes: usize,
     /// Precision ceiling (default 24).
     pub max_precision: u32,
+    /// Client-supplied trace id (`trace=<hex>`), if any. Observational
+    /// only: excluded from [`SubmitRequest::search_params`] and hence
+    /// from the `JobKey` — tracing must never change what runs or how
+    /// results dedupe.
+    pub trace: Option<u64>,
 }
 
 impl SubmitRequest {
@@ -222,6 +239,11 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
             ensure_done(tokens)?;
             Ok(Request::Stats)
         }
+        "TRACE" => {
+            let key = tokens.next().ok_or("TRACE needs a job key")?.to_owned();
+            ensure_done(tokens)?;
+            Ok(Request::Trace(key))
+        }
         "SHUTDOWN" => {
             ensure_done(tokens)?;
             Ok(Request::Shutdown)
@@ -248,6 +270,7 @@ fn parse_submit<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<SubmitReque
         type_system: tp_formats::TypeSystem::V2,
         passes: 2,
         max_precision: 24,
+        trace: None,
     };
     for token in tokens {
         let (k, v) = token
@@ -290,6 +313,10 @@ fn parse_submit<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<SubmitReque
                     .ok()
                     .filter(|p| (2..=24).contains(p))
                     .ok_or_else(|| format!("bad maxp {v:?} (need 2..=24)"))?;
+            }
+            "trace" => {
+                req.trace =
+                    Some(u64::from_str_radix(v, 16).map_err(|_| format!("bad trace id {v:?}"))?);
             }
             other => return Err(format!("unknown SUBMIT field {other:?}")),
         }
@@ -355,6 +382,28 @@ mod tests {
     }
 
     #[test]
+    fn submit_trace_id_parses_as_hex_and_stays_out_of_search_params() {
+        let r = parse_request("SUBMIT app=CONV threshold=0.1").unwrap();
+        let Request::Submit(s) = r else { panic!() };
+        assert_eq!(s.trace, None);
+
+        let r = parse_request("SUBMIT app=CONV threshold=0.1 trace=deadbeef").unwrap();
+        let Request::Submit(s) = r else { panic!() };
+        assert_eq!(s.trace, Some(0xdead_beef));
+
+        // The trace id is observational: the JobKey derived from the
+        // search params must be identical with and without it.
+        let plain = parse_request("SUBMIT app=CONV threshold=0.1").unwrap();
+        let traced = parse_request("SUBMIT app=CONV threshold=0.1 trace=1f").unwrap();
+        let (Request::Submit(a), Request::Submit(b)) = (plain, traced) else {
+            panic!()
+        };
+        let key_of =
+            |s: &SubmitRequest| tp_store::JobKey::of("CONV", &[], &s.search_params(2), "backend");
+        assert_eq!(key_of(&a), key_of(&b));
+    }
+
+    #[test]
     fn submit_rejects_bad_fields() {
         for bad in [
             "SUBMIT threshold=0.1",                       // no app
@@ -368,6 +417,7 @@ mod tests {
             "SUBMIT app=CONV threshold=0.1 maxp=40",      // out of range
             "SUBMIT app=CONV threshold=0.1 bogus=1",      // unknown field
             "SUBMIT app=CONV threshold=0.1 orphan-token", // not key=value
+            "SUBMIT app=CONV threshold=0.1 trace=xyz",    // non-hex trace id
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} accepted");
         }
@@ -388,12 +438,18 @@ mod tests {
         );
         assert_eq!(parse_request("LIST").unwrap(), Request::List);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("TRACE abc123").unwrap(),
+            Request::Trace("abc123".to_owned())
+        );
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         for bad in [
             "",
             "NOP",
             "STATUS",
             "RESULT",
+            "TRACE",
+            "TRACE k extra",
             "LIST extra",
             "STATS extra",
             "RESULT k flag",
@@ -410,6 +466,7 @@ mod tests {
             ("RESULT k", "RESULT"),
             ("LIST", "LIST"),
             ("STATS", "STATS"),
+            ("TRACE k", "TRACE"),
             ("SHUTDOWN", "SHUTDOWN"),
         ] {
             assert_eq!(parse_request(payload).unwrap().verb(), verb);

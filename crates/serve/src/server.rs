@@ -170,6 +170,19 @@ struct Job {
     /// Canonical kernel spec (`NAME:variant`, registered spelling) —
     /// `request.app` as the client typed it, normalized at admission.
     kernel: String,
+    /// Trace id the job's spans are filed under (client-supplied or
+    /// server-minted at the first SUBMIT). Observational only: a dedup
+    /// join keeps the first job's id, and the id never enters the
+    /// [`JobKey`]. `None` when tracing was off at admission.
+    trace: Option<u64>,
+    /// The SUBMIT handler's span context at admission; workers adopt it
+    /// so the queue wait and the job execution stay children of the
+    /// `serve.request.SUBMIT` root even though they run on other threads.
+    trace_ctx: tp_obs::SpanContext,
+    /// Enqueue instant for the queue-wait measurement (`serve.queue_ns`
+    /// histogram + `serve.queued` span). `None` when both metrics and
+    /// tracing were off at admission — then no clock is read at all.
+    enqueued: Option<std::time::Instant>,
     state: Mutex<JobState>,
     settled: Condvar,
 }
@@ -245,7 +258,15 @@ impl Core {
 
     /// `SUBMIT`: single-flight admission. Failed jobs are retried (the
     /// failure may have been transient); everything else joins.
-    fn submit(&self, request: SubmitRequest) -> Result<(JobKey, &'static str), String> {
+    ///
+    /// `trace_id` is the resolved id for this request (client-supplied or
+    /// freshly minted by the handler); it is stored on the job for the
+    /// `TRACE` verb but deliberately kept out of the key derivation.
+    fn submit(
+        &self,
+        request: SubmitRequest,
+        trace_id: Option<u64>,
+    ) -> Result<(JobKey, &'static str), String> {
         let app = (self.resolver)(&request.app)
             .ok_or_else(|| format!("unknown kernel {:?}", request.app))?;
         let params = request.search_params(self.workers_per_job);
@@ -315,6 +336,10 @@ impl Core {
             key,
             request,
             kernel,
+            trace: trace_id,
+            trace_ctx: tp_obs::SpanContext::current(),
+            enqueued: (tp_obs::enabled() || tp_obs::tracing_enabled())
+                .then(std::time::Instant::now),
             state: Mutex::new(JobState::Queued),
             settled: Condvar::new(),
         });
@@ -356,8 +381,26 @@ impl Core {
                 }
             };
             let Some(job) = job else { return };
+            // The queue wait, measured once and surfaced twice: as the
+            // `serve.queue_ns` histogram (STATS) and as an explicit
+            // `serve.queued` span bridging the handler thread's enqueue
+            // to this worker's pickup (both no-ops when their plane is
+            // off).
+            if let Some(enqueued) = job.enqueued {
+                let picked = std::time::Instant::now();
+                let ns =
+                    u64::try_from(picked.duration_since(enqueued).as_nanos()).unwrap_or(u64::MAX);
+                tp_obs::observe_ns("serve.queue_ns", ns);
+                tp_obs::trace::record_complete_span(
+                    "serve.queued",
+                    enqueued,
+                    picked,
+                    job.trace_ctx,
+                );
+            }
             job.settle(JobState::Running);
             let outcome = {
+                let _trace = job.trace_ctx.adopt();
                 let _span = tp_obs::Span::enter("serve.job_ns");
                 self.execute(&job)
             };
@@ -576,10 +619,22 @@ fn handle_connection(core: &Core, stream: TcpStream) {
 
 fn respond(core: &Core, request: Request) -> String {
     match request {
-        Request::Submit(submit) => match core.submit(submit) {
-            Ok((key, state)) => format!("OK {} {state}", key.hex()),
-            Err(reason) => format!("ERR {reason}"),
-        },
+        Request::Submit(submit) => {
+            // Resolve the request's trace id: the client's if it sent one
+            // (joining the client-side tree), otherwise a fresh mint when
+            // tracing is on server-side, otherwise none. The root span is
+            // trace-only — the request histogram is recorded by
+            // `handle_connection`, and arming it here too would
+            // double-count SUBMIT latencies.
+            let trace_id = submit
+                .trace
+                .or_else(|| tp_obs::tracing_enabled().then(tp_obs::trace::mint_id));
+            let _root = trace_id.map(|t| tp_obs::Span::enter_traced("serve.request.SUBMIT", t));
+            match core.submit(submit, trace_id) {
+                Ok((key, state)) => format!("OK {} {state}", key.hex()),
+                Err(reason) => format!("ERR {reason}"),
+            }
+        }
         Request::Status(key) => match core.lookup(&key) {
             Some(job) => format!("OK {}", job.state_name()),
             None => "ERR unknown-key".to_owned(),
@@ -622,6 +677,16 @@ fn respond(core: &Core, request: Request) -> String {
             out
         }
         Request::Stats => format!("OK {}", stats_payload(core).to_json()),
+        Request::Trace(key) => match core.lookup(&key) {
+            None => "ERR unknown-key".to_owned(),
+            Some(job) => match job.trace {
+                None => "ERR no-trace".to_owned(),
+                Some(trace) => format!(
+                    "OK {}",
+                    tp_store::spans_json(trace, &tp_obs::trace::spans_for_trace(trace)).to_json()
+                ),
+            },
+        },
         Request::Shutdown => core.drain().line("BYE"),
     }
 }

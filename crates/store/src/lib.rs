@@ -48,7 +48,7 @@ pub mod ser;
 mod store;
 
 pub use key::{fnv64, JobKey};
-pub use obs_json::metrics_json;
+pub use obs_json::{metrics_json, spans_json};
 pub use ser::{record_from_json, record_to_json, DecodeError, TuningRecord, FORMAT_VERSION};
 pub use store::{Store, StoreReport, StoreStats, DEFAULT_CAP_BYTES};
 

@@ -11,7 +11,7 @@
 //! equal bytes (the serializer is deterministic and the snapshot is
 //! already sorted).
 
-use tp_obs::MetricsSnapshot;
+use tp_obs::{MetricsSnapshot, SpanRecord};
 
 use crate::json::Value;
 
@@ -69,6 +69,46 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> Value {
         .field("hists", hists)
 }
 
+/// Renders one trace's span tree as a JSON object — the `TRACE <key>`
+/// serve verb's payload:
+///
+/// ```json
+/// {
+///   "trace": "1f",
+///   "spans": [
+///     {"id": 5, "name": "serve.request.SUBMIT", "tid": 2,
+///      "start_ns": 120, "dur_ns": 9000},
+///     {"id": 6, "parent": 5, "name": "serve.queued", ...}, ...]
+/// }
+/// ```
+///
+/// The trace id is spelled in hex (matching the wire's `trace=<hex>`
+/// field); root spans omit `parent`. Callers pass spans already sorted
+/// by id ([`tp_obs::trace::spans_for_trace`] does), so equal trees render
+/// to equal bytes.
+#[must_use]
+pub fn spans_json(trace_id: u64, spans: &[SpanRecord]) -> Value {
+    let rows = spans
+        .iter()
+        .map(|span| {
+            let mut row = Value::obj().field("id", Value::Num(span.id));
+            if let Some(parent) = span.parent {
+                row = row.field("parent", Value::Num(parent));
+            }
+            row.field("name", Value::Str(span.name.clone()))
+                .field("tid", Value::Num(span.tid))
+                .field("start_ns", Value::Num(span.start_ns))
+                .field(
+                    "dur_ns",
+                    Value::Num(span.end_ns.saturating_sub(span.start_ns)),
+                )
+        })
+        .collect();
+    Value::obj()
+        .field("trace", Value::Str(format!("{trace_id:x}")))
+        .field("spans", Value::Arr(rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +146,44 @@ mod tests {
         );
         tp_obs::reset();
         tp_obs::force_mode(tp_obs::MetricsMode::Off);
+    }
+
+    #[test]
+    fn span_tree_renders_hex_trace_and_omits_root_parent() {
+        let spans = [
+            SpanRecord {
+                id: 5,
+                parent: None,
+                trace: Some(0x1f),
+                name: "serve.request.SUBMIT".to_owned(),
+                tid: 2,
+                start_ns: 120,
+                end_ns: 9120,
+            },
+            SpanRecord {
+                id: 6,
+                parent: Some(5),
+                trace: Some(0x1f),
+                name: "serve.queued".to_owned(),
+                tid: 3,
+                start_ns: 200,
+                end_ns: 260,
+            },
+        ];
+        let rendered = spans_json(0x1f, &spans).to_json();
+        assert_eq!(rendered, spans_json(0x1f, &spans).to_json());
+        let parsed = Value::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed.get("trace").and_then(Value::as_str),
+            Some("1f"),
+            "trace id is spelled in hex, matching the wire field"
+        );
+        let Some(Value::Arr(rows)) = parsed.get("spans") else {
+            panic!("spans array missing: {rendered}")
+        };
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].get("parent").is_none(), "root omits parent");
+        assert_eq!(rows[1].get("parent").and_then(Value::as_num), Some(5));
+        assert_eq!(rows[1].get("dur_ns").and_then(Value::as_num), Some(60));
     }
 }

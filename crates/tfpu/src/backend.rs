@@ -18,14 +18,60 @@
 //! cycle/energy account that `tp-platform` cross-validates against its
 //! analytic [`CycleReport`](../tp_platform/struct.CycleReport.html).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use flexfloat::backend::{BinOp, FlagSet, FpBackend};
 use tp_formats::{FormatKind, FpFormat, RoundingMode};
 use tp_softfloat::ops;
 
 use crate::op::ArithOp;
-use crate::unit::{FpuStats, SmallFloatUnit};
+use crate::unit::{FpuStats, Issue, SmallFloatUnit};
+
+/// A tap observing every operation the backend accounts: the op class,
+/// the formats involved, and the unit's cycle/energy charge (0 for
+/// classes the unit has no hardware block for). Installed with
+/// [`FpuModel::with_sink`]; with no sink the backend never builds or
+/// reports any of this, so ordinary runs pay nothing.
+///
+/// The tap is **observational by contract**: it sees each op *after*
+/// the result is computed and must not influence it. `tp_obs::attr` is
+/// the intended receiver — its table is keyed on (kernel, phase,
+/// op-class, format-pair) and reconciles exactly against
+/// [`MeasuredStats`] (no dropped or double-counted ops: every backend
+/// operation reaches the sink exactly once, in the same bucket
+/// [`MeasuredStats`] counts it in).
+pub trait AttributionSink: Send + Sync + std::fmt::Debug {
+    /// Reports one accounted op. `from`/`to` are format names (equal
+    /// for non-conversions; `"off-grid"` for formats outside the
+    /// platform's four). `cycles`/`energy_pj` are the unit's charge —
+    /// the exact quantities accumulated into [`FpuStats`] — and 0 for
+    /// emulated/cmp/off-grid classes, which the unit does not account.
+    fn record(
+        &self,
+        class: &'static str,
+        from: &'static str,
+        to: &'static str,
+        cycles: u64,
+        energy_pj: f64,
+    );
+}
+
+/// Static display name of an in-grid format (the `FormatKind` Display
+/// strings, as `&'static str` so sinks can key on them without
+/// allocating).
+#[must_use]
+pub fn kind_name(kind: FormatKind) -> &'static str {
+    match kind {
+        FormatKind::Binary8 => "binary8",
+        FormatKind::Binary16 => "binary16",
+        FormatKind::Binary16Alt => "binary16alt",
+        FormatKind::Binary32 => "binary32",
+    }
+}
+
+fn fmt_label(fmt: FpFormat) -> &'static str {
+    FormatKind::of_format(fmt).map_or("off-grid", kind_name)
+}
 
 /// Execution counts accumulated by an [`FpuModel`] backend: the unit's own
 /// statistics plus the operations the unit has no hardware block for.
@@ -64,6 +110,20 @@ impl MeasuredStats {
             + self.off_grid_ops
     }
 
+    /// The run's energy/cycle account in summary form — the totals the
+    /// attribution plane reconciles against (see [`EnergyAccount`]).
+    #[must_use]
+    pub fn energy_account(&self) -> EnergyAccount {
+        EnergyAccount {
+            unit_ops: self.fpu.instructions,
+            unit_cycles: self.fpu.total_latency,
+            unit_energy_pj: self.fpu.total_energy_pj,
+            emulated_ops: self.emulated_div + self.emulated_sqrt + self.emulated_fma,
+            cmp_ops: self.cmp_ops,
+            off_grid_ops: self.off_grid_ops,
+        }
+    }
+
     /// The statistics accumulated since `baseline` (a snapshot taken from
     /// the same backend earlier). Counters are cumulative, so this is
     /// field-wise subtraction — the per-run accounting hook harnesses use
@@ -82,6 +142,38 @@ impl MeasuredStats {
             cmp_ops: self.cmp_ops - baseline.cmp_ops,
             off_grid_ops: self.off_grid_ops - baseline.off_grid_ops,
         }
+    }
+}
+
+/// Summary energy/cycle totals of a measured run, derived from
+/// [`MeasuredStats`]: what the unit charged (ops, cycles, pJ) and how
+/// many operations fell outside the unit (emulated, comparisons,
+/// off-grid — all charged 0 by the hardware model). The attribution
+/// plane's contract is that its per-(kernel, phase, op-class, format)
+/// rows sum *exactly* to these totals — `unit_energy_pj` with `==`,
+/// because `EnergyTable` quantizes to a dyadic grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyAccount {
+    /// Instructions the `SmallFloatUnit` executed (arith + conversions).
+    pub unit_ops: u64,
+    /// Cycles the unit charged for those instructions.
+    pub unit_cycles: u64,
+    /// Picojoules the unit charged for those instructions.
+    pub unit_energy_pj: f64,
+    /// Software-emulated ops (div + sqrt + fma): counted, not charged.
+    pub emulated_ops: u64,
+    /// Quiet comparisons / min / max: counted, not charged.
+    pub cmp_ops: u64,
+    /// Ops in formats outside the platform grid: counted, not charged.
+    pub off_grid_ops: u64,
+}
+
+impl EnergyAccount {
+    /// Every operation in the account, across all classes — equals
+    /// [`MeasuredStats::retired_fp_instructions`].
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.unit_ops + self.emulated_ops + self.cmp_ops + self.off_grid_ops
     }
 }
 
@@ -120,6 +212,7 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct FpuModel {
     inner: Mutex<Inner>,
+    sink: Option<Arc<dyn AttributionSink>>,
 }
 
 impl FpuModel {
@@ -137,6 +230,30 @@ impl FpuModel {
                 unit,
                 counts: MeasuredStats::default(),
             }),
+            sink: None,
+        }
+    }
+
+    /// A backend that additionally reports every accounted op to `sink`
+    /// (see [`AttributionSink`]).
+    #[must_use]
+    pub fn with_sink(sink: Arc<dyn AttributionSink>) -> Self {
+        FpuModel {
+            inner: Mutex::new(Inner::default()),
+            sink: Some(sink),
+        }
+    }
+
+    fn tap(
+        &self,
+        class: &'static str,
+        from: &'static str,
+        to: &'static str,
+        issue: Option<&Issue>,
+    ) {
+        if let Some(sink) = &self.sink {
+            let (cycles, energy) = issue.map_or((0, 0.0), |i| (u64::from(i.latency), i.energy_pj));
+            sink.record(class, from, to, cycles, energy);
         }
     }
 
@@ -175,16 +292,27 @@ impl FpBackend for FpuModel {
         let mut inner = self.lock();
         let (ab, bb) = (enc(fmt, a), enc(fmt, b));
         let bits = match (FormatKind::of_format(fmt), op) {
-            (Some(kind), BinOp::Add) => inner.unit.scalar(ArithOp::Add, kind, ab, bb).lanes[0],
-            (Some(kind), BinOp::Sub) => inner.unit.scalar(ArithOp::Sub, kind, ab, bb).lanes[0],
-            (Some(kind), BinOp::Mul) => inner.unit.scalar(ArithOp::Mul, kind, ab, bb).lanes[0],
-            (Some(_), BinOp::Div) => {
+            (Some(kind), BinOp::Add | BinOp::Sub | BinOp::Mul) => {
+                let (arith, class) = match op {
+                    BinOp::Add => (ArithOp::Add, "add"),
+                    BinOp::Sub => (ArithOp::Sub, "sub"),
+                    _ => (ArithOp::Mul, "mul"),
+                };
+                let issue = inner.unit.scalar(arith, kind, ab, bb);
+                let name = kind_name(kind);
+                self.tap(class, name, name, Some(&issue));
+                issue.lanes[0]
+            }
+            (Some(kind), BinOp::Div) => {
                 // No divider slice: emulated in software on the core.
                 inner.counts.emulated_div += 1;
+                let name = kind_name(kind);
+                self.tap("div_emulated", name, name, None);
                 ops::div(fmt, ab, bb, RoundingMode::default())
             }
             (None, _) => {
                 inner.counts.off_grid_ops += 1;
+                self.tap("off_grid", "off-grid", "off-grid", None);
                 match op {
                     BinOp::Add => ops::add(fmt, ab, bb, RoundingMode::default()),
                     BinOp::Sub => ops::sub(fmt, ab, bb, RoundingMode::default()),
@@ -198,20 +326,26 @@ impl FpBackend for FpuModel {
 
     fn sqrt(&self, fmt: FpFormat, x: f64) -> f64 {
         let mut inner = self.lock();
-        if FormatKind::of_format(fmt).is_some() {
+        if let Some(kind) = FormatKind::of_format(fmt) {
             inner.counts.emulated_sqrt += 1;
+            let name = kind_name(kind);
+            self.tap("sqrt_emulated", name, name, None);
         } else {
             inner.counts.off_grid_ops += 1;
+            self.tap("off_grid", "off-grid", "off-grid", None);
         }
         fmt.decode_to_f64(ops::sqrt(fmt, enc(fmt, x), RoundingMode::default()))
     }
 
     fn fma(&self, fmt: FpFormat, a: f64, b: f64, c: f64) -> f64 {
         let mut inner = self.lock();
-        if FormatKind::of_format(fmt).is_some() {
+        if let Some(kind) = FormatKind::of_format(fmt) {
             inner.counts.emulated_fma += 1;
+            let name = kind_name(kind);
+            self.tap("fma_emulated", name, name, None);
         } else {
             inner.counts.off_grid_ops += 1;
+            self.tap("off_grid", "off-grid", "off-grid", None);
         }
         let bits = ops::fused_mul_add(
             fmt,
@@ -228,10 +362,12 @@ impl FpBackend for FpuModel {
         match (FormatKind::of_format(from), FormatKind::of_format(to)) {
             (Some(fk), Some(tk)) => {
                 let issue = inner.unit.convert(fk, tk, enc(from, x));
+                self.tap("convert", kind_name(fk), kind_name(tk), Some(&issue));
                 to.decode_to_f64(issue.lanes[0])
             }
             _ => {
                 inner.counts.off_grid_ops += 1;
+                self.tap("off_grid", "off-grid", "off-grid", None);
                 to.decode_to_f64(ops::convert(
                     from,
                     to,
@@ -244,26 +380,31 @@ impl FpBackend for FpuModel {
 
     fn min(&self, fmt: FpFormat, a: f64, b: f64) -> f64 {
         self.lock().counts.cmp_ops += 1;
+        self.tap("cmp", fmt_label(fmt), fmt_label(fmt), None);
         fmt.decode_to_f64(ops::min(fmt, enc(fmt, a), enc(fmt, b)))
     }
 
     fn max(&self, fmt: FpFormat, a: f64, b: f64) -> f64 {
         self.lock().counts.cmp_ops += 1;
+        self.tap("cmp", fmt_label(fmt), fmt_label(fmt), None);
         fmt.decode_to_f64(ops::max(fmt, enc(fmt, a), enc(fmt, b)))
     }
 
     fn lt(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
         self.lock().counts.cmp_ops += 1;
+        self.tap("cmp", fmt_label(fmt), fmt_label(fmt), None);
         ops::lt(fmt, enc(fmt, a), enc(fmt, b))
     }
 
     fn le(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
         self.lock().counts.cmp_ops += 1;
+        self.tap("cmp", fmt_label(fmt), fmt_label(fmt), None);
         ops::le(fmt, enc(fmt, a), enc(fmt, b))
     }
 
     fn eq(&self, fmt: FpFormat, a: f64, b: f64) -> bool {
         self.lock().counts.cmp_ops += 1;
+        self.tap("cmp", fmt_label(fmt), fmt_label(fmt), None);
         ops::eq(fmt, enc(fmt, a), enc(fmt, b))
     }
 
@@ -370,6 +511,86 @@ mod tests {
         assert!(!fpu.eq(BINARY16, f64::NAN, f64::NAN), "quiet: NaN != NaN");
         assert!(fpu.eq(BINARY16, 0.0, -0.0), "-0 == +0");
         assert_eq!(fpu.stats().cmp_ops, 4);
+    }
+
+    type SinkRow = (&'static str, &'static str, &'static str, u64, f64);
+
+    #[derive(Debug, Default)]
+    struct TestSink {
+        rows: Mutex<Vec<SinkRow>>,
+    }
+
+    impl AttributionSink for TestSink {
+        fn record(
+            &self,
+            class: &'static str,
+            from: &'static str,
+            to: &'static str,
+            cycles: u64,
+            energy_pj: f64,
+        ) {
+            self.rows
+                .lock()
+                .unwrap()
+                .push((class, from, to, cycles, energy_pj));
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_op_exactly_once_and_totals_reconcile() {
+        let sink = Arc::new(TestSink::default());
+        let fpu = Arc::new(FpuModel::with_sink(sink.clone()));
+        let odd = FpFormat::new(6, 5).unwrap();
+        Engine::with(fpu.clone(), || {
+            let a = Fx::new(1.5, BINARY16);
+            let b = Fx::new(0.5, BINARY16);
+            let _ = a + b;
+            let _ = a - b;
+            let _ = a * b;
+            let _ = a / b;
+            let _ = a.sqrt();
+            let _ = a.min(b);
+            let _ = a.lt(b);
+            let _ = a.to(BINARY8);
+            let (c, d) = (Fx::new(1.3, odd), Fx::new(0.7, odd));
+            let _ = c * d;
+        });
+        let s = fpu.stats();
+        let rows = sink.rows.lock().unwrap();
+        assert_eq!(rows.len() as u64, s.retired_fp_instructions());
+        let unit_classes = ["add", "sub", "mul", "convert"];
+        let unit: Vec<_> = rows
+            .iter()
+            .filter(|(c, ..)| unit_classes.contains(c))
+            .collect();
+        assert_eq!(unit.len() as u64, s.fpu.instructions);
+        assert_eq!(
+            unit.iter().map(|(.., cy, _)| cy).sum::<u64>(),
+            s.fpu.total_latency
+        );
+        // Exact, not approximate: dyadic-quantized energies sum exactly.
+        assert_eq!(
+            unit.iter().map(|(.., e)| e).sum::<f64>(),
+            s.fpu.total_energy_pj
+        );
+        let count = |class: &str| rows.iter().filter(|(c, ..)| *c == class).count() as u64;
+        assert_eq!(count("div_emulated"), s.emulated_div);
+        assert_eq!(count("sqrt_emulated"), s.emulated_sqrt);
+        assert_eq!(count("cmp"), s.cmp_ops);
+        assert_eq!(count("off_grid"), s.off_grid_ops);
+        // Non-unit classes carry no hardware charge.
+        for (c, _, _, cy, e) in rows.iter() {
+            if !unit_classes.contains(c) {
+                assert_eq!((*cy, *e), (0, 0.0), "{c}");
+            }
+        }
+        // Conversion rows carry the format pair.
+        let conv = rows.iter().find(|(c, ..)| *c == "convert").unwrap();
+        assert_eq!((conv.1, conv.2), ("binary16", "binary8"));
+        // The summary account matches field-by-field.
+        let account = s.energy_account();
+        assert_eq!(account.total_ops(), s.retired_fp_instructions());
+        assert_eq!(account.unit_energy_pj, s.fpu.total_energy_pj);
     }
 
     #[test]

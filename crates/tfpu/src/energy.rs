@@ -19,10 +19,32 @@
 //! Absolute values are calibration constants, documented here and in
 //! DESIGN.md; every figure of the paper is normalized to the binary32
 //! baseline, so only the ratios matter for reproduction.
+//!
+//! # Dyadic quantization
+//!
+//! Every energy this table returns is rounded to the grid of
+//! [`ENERGY_QUANTUM_PJ`] = 2⁻²⁰ pJ. On that grid, `f64` accumulation of
+//! per-op energies is **exact** (every partial sum below ~8.6·10⁹ pJ is
+//! representable), hence associative — so a total accumulated op-by-op
+//! equals the same total re-derived from any per-key breakdown,
+//! bit-for-bit. That is the property the `tp_obs::attr` attribution
+//! plane's reconciliation contract rests on (`exp_energy_attribution`
+//! asserts totals with `==`, not an epsilon). The rounding moves each
+//! per-op energy by < 10⁻⁶ pJ — six orders below the calibration
+//! uncertainty, and invisible to the paper's normalized ratios.
 
 use tp_formats::FormatKind;
 
 use crate::op::ArithOp;
+
+/// The energy grid: every [`EnergyTable`] output is a multiple of this
+/// (2⁻²⁰ pJ). See the module docs for why.
+pub const ENERGY_QUANTUM_PJ: f64 = 1.0 / (1 << 20) as f64;
+
+/// Rounds to the nearest multiple of [`ENERGY_QUANTUM_PJ`]. Idempotent.
+fn quantize(e: f64) -> f64 {
+    (e * (1 << 20) as f64).round() * ENERGY_QUANTUM_PJ
+}
 
 /// Energy cost table (picojoules per operation).
 #[derive(Debug, Clone)]
@@ -44,13 +66,13 @@ impl EnergyTable {
         // Mantissa widths (with implicit bit): 3, 11, 8, 24.
         let m = fmt.format().precision_bits() as f64;
         let e = fmt.format().exp_bits() as f64;
-        match op {
+        quantize(match op {
             // Adder: mantissa-wide alignment/add/normalize plus exponent
             // logic. Calibrated so binary32 lands at ~7 pJ.
             ArithOp::Add | ArithOp::Sub => 0.55 + 0.245 * m + 0.07 * e,
             // Multiplier: m² array plus exponent adder. binary32 ~9.8 pJ.
             ArithOp::Mul => 0.7 + 0.0145 * m * m + 0.07 * e,
-        }
+        })
     }
 
     /// Energy of one *vector* arithmetic operation (all lanes of the given
@@ -60,23 +82,27 @@ impl EnergyTable {
     #[must_use]
     pub fn vector_arith(&self, op: ArithOp, fmt: FormatKind) -> f64 {
         let lanes = fmt.simd_lanes() as f64;
-        self.scalar_arith(op, fmt) * lanes * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes)
+        quantize(
+            self.scalar_arith(op, fmt) * lanes * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes),
+        )
     }
 
     /// Energy of one scalar conversion, in pJ. Conversions are shift-and-
     /// round datapaths; cost follows the wider of the two widths.
     #[must_use]
     pub fn conversion(&self, from_bits: u32, to_bits: u32) -> f64 {
-        0.4 + 0.025 * from_bits.max(to_bits) as f64
+        quantize(0.4 + 0.025 * from_bits.max(to_bits) as f64)
     }
 
     /// Energy of a vector conversion over `lanes` elements.
     #[must_use]
     pub fn vector_conversion(&self, from_bits: u32, to_bits: u32, lanes: u32) -> f64 {
         let lanes = lanes as f64;
-        self.conversion(from_bits, to_bits)
-            * lanes
-            * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes)
+        quantize(
+            self.conversion(from_bits, to_bits)
+                * lanes
+                * (1.0 - self.simd_sharing * (lanes - 1.0) / lanes),
+        )
     }
 }
 
@@ -159,6 +185,27 @@ mod tests {
             t.vector_arith(ArithOp::Add, Binary32),
             t.scalar_arith(ArithOp::Add, Binary32)
         );
+    }
+
+    #[test]
+    fn energies_sit_on_the_dyadic_grid() {
+        // The attribution plane's exact-reconciliation contract: every
+        // energy is a multiple of 2^-20 pJ, so f64 sums are exact.
+        let t = EnergyTable::paper();
+        let mut vals = Vec::new();
+        for fmt in [Binary8, Binary16, Binary16Alt, Binary32] {
+            for op in [ArithOp::Add, ArithOp::Mul] {
+                vals.push(t.scalar_arith(op, fmt));
+                vals.push(t.vector_arith(op, fmt));
+            }
+        }
+        vals.push(t.conversion(32, 8));
+        vals.push(t.vector_conversion(16, 32, 2));
+        for v in vals {
+            let scaled = v / ENERGY_QUANTUM_PJ;
+            assert_eq!(scaled, scaled.round(), "{v} is not on the 2^-20 grid");
+            assert!(v > 0.0, "{v}");
+        }
     }
 
     #[test]

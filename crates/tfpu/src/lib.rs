@@ -32,8 +32,8 @@ mod op;
 mod slices;
 mod unit;
 
-pub use backend::{FpuModel, MeasuredStats};
-pub use energy::EnergyTable;
+pub use backend::{kind_name, AttributionSink, EnergyAccount, FpuModel, MeasuredStats};
+pub use energy::{EnergyTable, ENERGY_QUANTUM_PJ};
 pub use op::{ArithOp, FpuOp};
 pub use slices::{SliceActivity, SliceKind};
 pub use unit::{operation_modes, FpuStats, Issue, ModeRow, SmallFloatUnit};

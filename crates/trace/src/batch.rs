@@ -43,6 +43,10 @@ impl Trace {
     /// transparently falls back to sequential replay.
     #[must_use]
     pub fn replay_batch(traces: &[&Trace], config: &TypeConfig) -> Vec<Replayed> {
+        // One span per batched group: coarse enough to stay within the
+        // trace buffer, fine enough that "replay" shows up as a phase's
+        // children in the span tree.
+        let _span = tp_obs::Span::enter("trace.replay_batch_ns");
         tp_obs::counter_inc("trace.replay_batch_calls");
         let [leader, rest @ ..] = traces else {
             return Vec::new();

@@ -55,7 +55,10 @@ pub fn resolve_workers(requested: usize) -> usize {
 /// `Engine::with(backend, ...)` evaluates every index on that backend —
 /// this is what keeps tuning runs backend-generic *and* worker-count
 /// invariant (backends are bit-identical, so the interleaving still cannot
-/// change any result).
+/// change any result). The caller's trace context
+/// ([`tp_obs::SpanContext`]) is handed over the same way, so spans
+/// recorded inside workers stay children of the span that fanned out —
+/// inert when tracing is off, and observational either way.
 pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -66,6 +69,7 @@ where
         return (0..n).map(f).collect();
     }
     let backend = Engine::current();
+    let trace_ctx = tp_obs::SpanContext::current();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -73,6 +77,7 @@ where
         for _ in 0..w {
             let backend = backend.clone();
             scope.spawn(move || {
+                let _trace = trace_ctx.adopt();
                 let work = || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -102,18 +107,22 @@ where
 /// caller — and returns both results. Used for speculative candidate
 /// probes where the sequential driver would short-circuit.
 ///
-/// Like [`parallel_map`], the caller's active execution backend is
-/// re-installed on the spawned side.
+/// Like [`parallel_map`], the caller's active execution backend and
+/// trace context are re-installed on the spawned side.
 pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
 where
     A: Send,
     B: Send,
 {
     let backend = Engine::current();
+    let trace_ctx = tp_obs::SpanContext::current();
     std::thread::scope(|scope| {
-        let hb = scope.spawn(move || match backend {
-            Some(bk) => Engine::with(bk, b),
-            None => b(),
+        let hb = scope.spawn(move || {
+            let _trace = trace_ctx.adopt();
+            match backend {
+                Some(bk) => Engine::with(bk, b),
+                None => b(),
+            }
         });
         let ra = a();
         (ra, hb.join().expect("joined worker panicked"))
@@ -164,6 +173,45 @@ mod tests {
             join2(Engine::active_name, Engine::active_name)
         });
         assert_eq!((a, b), ("softfloat", "softfloat"));
+    }
+
+    #[test]
+    fn workers_inherit_the_trace_context() {
+        tp_obs::force_tracing(true);
+        let trace_id = tp_obs::trace::mint_id();
+        let parent_id;
+        {
+            let _root = tp_obs::SpanContext::root_of(trace_id).adopt();
+            let parent = tp_obs::Span::enter("pool.test.parent_ns");
+            let ctx = tp_obs::SpanContext::current();
+            assert_eq!(ctx.trace_id(), Some(trace_id));
+            let _ = parallel_map(4, 8, |_| {
+                drop(tp_obs::Span::enter("pool.test.child_ns"));
+            });
+            let (_, _) = join2(
+                || drop(tp_obs::Span::enter("pool.test.join_a_ns")),
+                || drop(tp_obs::Span::enter("pool.test.join_b_ns")),
+            );
+            drop(parent);
+            parent_id = tp_obs::trace::spans_for_trace(trace_id)
+                .iter()
+                .find(|s| s.name == "pool.test.parent_ns")
+                .map(|s| s.id);
+        }
+        tp_obs::force_tracing(false);
+        let spans = tp_obs::trace::spans_for_trace(trace_id);
+        let children: Vec<_> = spans
+            .iter()
+            .filter(|s| {
+                s.name.starts_with("pool.test.child") || s.name.starts_with("pool.test.join")
+            })
+            .collect();
+        assert_eq!(children.len(), 10, "{spans:?}");
+        assert!(parent_id.is_some(), "{spans:?}");
+        for child in children {
+            assert_eq!(child.parent, parent_id, "{child:?}");
+            assert_eq!(child.trace, Some(trace_id));
+        }
     }
 
     #[test]

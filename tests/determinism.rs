@@ -170,6 +170,71 @@ fn metrics_are_decision_transparent() {
     }
 }
 
+/// The tracing leg of the same matrix (DESIGN.md §13): causal span-tree
+/// tracing records ids, parents and timestamps, but may never move a
+/// decision. Chosen formats, storage mapping and trace counts
+/// bit-identical under tracing {off, on} × workers {1, 4}.
+///
+/// `tp_obs::force_tracing` is the programmatic spelling of
+/// `TP_TRACE_EVENTS` being set, exactly as `force_mode` is for
+/// `TP_METRICS` (and for the same reason: no process-environment
+/// mutation while sibling tests run).
+#[test]
+fn tracing_is_decision_transparent() {
+    let app = Conv::small();
+    let params = PlatformParams::paper();
+    let matrix = [(false, 1usize), (false, 4), (true, 1), (true, 4)];
+    let runs: Vec<_> = matrix
+        .iter()
+        .map(|&(tracing, workers)| {
+            tp_obs::force_tracing(tracing);
+            let record = evaluate_app_with(&app, 1e-1, &params, workers, TunerMode::Replay);
+            (tracing, workers, record)
+        })
+        .collect();
+    tp_obs::force_tracing(false);
+
+    let (_, _, want) = &runs[0];
+    for (tracing, workers, record) in &runs {
+        let tag = format!("tracing={tracing} workers={workers}");
+        assert_eq!(
+            fingerprint(&record.outcome),
+            fingerprint(&want.outcome),
+            "{tag}: formats moved"
+        );
+        assert_eq!(record.storage, want.storage, "{tag}");
+        assert_eq!(
+            record.baseline_counts, want.baseline_counts,
+            "{tag}: baseline trace counts moved"
+        );
+        assert_eq!(
+            record.tuned_counts, want.tuned_counts,
+            "{tag}: tuned trace counts moved"
+        );
+        assert_eq!(
+            record.tuned.energy.total(),
+            want.tuned.energy.total(),
+            "{tag}"
+        );
+    }
+    // At a fixed worker count the evaluation count must not move with
+    // tracing either.
+    for pair in [(0usize, 2usize), (1, 3)] {
+        let (_, w, off) = &runs[pair.0];
+        let (_, _, on) = &runs[pair.1];
+        assert_eq!(
+            off.outcome.evaluations, on.outcome.evaluations,
+            "workers={w}: tracing changed the evaluation count"
+        );
+    }
+    // And tracing-on actually recorded something — the transparency claim
+    // is vacuous if the traced legs silently didn't trace.
+    assert!(
+        !tp_obs::trace::all_spans().is_empty(),
+        "tracing-on legs recorded no spans"
+    );
+}
+
 /// Worker-count invariance composes with backend choice: the chosen
 /// formats agree across the full {backend} × {workers} matrix. (Backends
 /// are bit-identical — tests/backends.rs — so scheduling differences on a

@@ -250,6 +250,112 @@ fn stats_plane_reports_latency_histograms_and_store_counters() {
     tp_obs::force_mode(tp_obs::MetricsMode::Off);
 }
 
+/// (ISSUE 10) Causal tracing, end to end: a traced `SUBMIT` yields one
+/// span tree — the `serve.request.SUBMIT` root (no parent), the
+/// cross-thread `serve.queued` wait and the worker's `serve.job_ns` as
+/// its children, and the tuner's phase spans beneath — retrievable over
+/// the wire with `TRACE <key>`. The trace id never enters the `JobKey`
+/// (a duplicate submit with a different id joins the same job and keeps
+/// the first id), and an untraced job answers `ERR no-trace`.
+#[test]
+fn trace_verb_returns_a_submit_rooted_span_tree() {
+    use tp_store::json::Value;
+    tp_obs::force_tracing(true);
+    let (resolver, _runs) = counting_resolver();
+    let server = Server::bind(ServeConfig {
+        concurrency: 2,
+        resolver,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).unwrap();
+    let (key, _) = client
+        .submit("SUBMIT app=KNN:small threshold=1e-1 trace=ab54")
+        .unwrap();
+    let _ = client.result_wait(&key).unwrap();
+
+    let raw = client.trace(&key).unwrap();
+    let payload = Value::parse(&raw).expect("TRACE must be valid JSON");
+    assert_eq!(
+        payload.get("trace").and_then(Value::as_str),
+        Some("ab54"),
+        "{raw}"
+    );
+    let Some(Value::Arr(spans)) = payload.get("spans") else {
+        panic!("no spans array: {raw}")
+    };
+    fn name_of(s: &Value) -> &str {
+        s.get("name").and_then(Value::as_str).unwrap_or("")
+    }
+    let root = spans
+        .iter()
+        .find(|s| name_of(s) == "serve.request.SUBMIT")
+        .unwrap_or_else(|| panic!("no SUBMIT root: {raw}"));
+    assert!(
+        root.get("parent").is_none(),
+        "SUBMIT root must have no parent: {raw}"
+    );
+    let root_id = root.get("id").and_then(Value::as_num).unwrap();
+    for child in ["serve.queued", "serve.job_ns"] {
+        let span = spans
+            .iter()
+            .find(|s| name_of(s) == child)
+            .unwrap_or_else(|| panic!("no {child} span: {raw}"));
+        assert_eq!(
+            span.get("parent").and_then(Value::as_num),
+            Some(root_id),
+            "{child} must hang off the SUBMIT root: {raw}"
+        );
+    }
+    // The search ran inside the job: its phase spans join the same tree.
+    assert!(
+        spans.iter().any(|s| name_of(s).starts_with("tuner.")),
+        "no tuner phase spans in the trace: {raw}"
+    );
+
+    // A duplicate submit with a *different* trace id joins the same job
+    // (the id is JobKey-excluded) and the job keeps its first id.
+    let (key2, _) = client
+        .submit("SUBMIT app=KNN:small threshold=1e-1 trace=ffff")
+        .unwrap();
+    assert_eq!(key, key2, "trace id must not enter the JobKey");
+    let raw2 = client.trace(&key).unwrap();
+    assert_eq!(
+        Value::parse(&raw2)
+            .unwrap()
+            .get("trace")
+            .and_then(Value::as_str),
+        Some("ab54"),
+        "dedup join must keep the first trace id: {raw2}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    tp_obs::force_tracing(false);
+
+    // With tracing off and no client-supplied id, jobs carry no trace.
+    let (resolver, _runs) = counting_resolver();
+    let server = Server::bind(ServeConfig {
+        concurrency: 1,
+        resolver,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).unwrap();
+    let (key, _) = client
+        .submit("SUBMIT app=KNN:small threshold=1e-1")
+        .unwrap();
+    let _ = client.result_wait(&key).unwrap();
+    let err = client.trace(&key).expect_err("untraced job must not trace");
+    assert!(err.to_string().contains("no-trace"), "{err}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 #[test]
 fn warm_bench_evaluation_is_bit_identical_at_any_worker_count() {
     // The library-level acceptance twin: evaluate_app_in (the entry point
